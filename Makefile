@@ -1,0 +1,32 @@
+# LDplayer (Go reproduction) build targets.
+
+GO ?= go
+
+.PHONY: all build test race bench vet experiments tools clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+tools:
+	$(GO) install ./cmd/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (about six minutes at small scale).
+experiments:
+	$(GO) run ./cmd/ldp-experiments -run all -scale small
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,89 @@
+// Benchmark harness: one bench per table and figure in the paper's
+// evaluation, each regenerating the artifact through the experiment
+// drivers, plus throughput benches for the core paths (wire codec, zone
+// lookup, replay pipeline stages). Run:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches report shape-check results via b.Log; failures
+// of shape checks fail the bench.
+package ldplayer
+
+import (
+	"fmt"
+	"testing"
+
+	"ldplayer/internal/experiments"
+)
+
+// benchExperiment runs one experiment driver per benchmark iteration at
+// Tiny scale and asserts its paper-shape checks.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ByID(id, experiments.Tiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Checks {
+			if !c.Pass {
+				b.Fatalf("%s: shape check %q diverges (paper %s, measured %s)",
+					id, c.Name, c.Paper, c.Measured)
+			}
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkTable1_TraceInventory regenerates Table 1.
+func BenchmarkTable1_TraceInventory(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig6_TimingError regenerates Fig 6 (replay timing accuracy).
+func BenchmarkFig6_TimingError(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7_InterArrivalCDF regenerates Fig 7.
+func BenchmarkFig7_InterArrivalCDF(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8_RateDifference regenerates Fig 8 (per-second rate error).
+func BenchmarkFig8_RateDifference(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9_Throughput regenerates Fig 9 (single-host fast replay).
+func BenchmarkFig9_Throughput(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10_DNSSECBandwidth regenerates Fig 10 (ZSK sizes × DO mix).
+func BenchmarkFig10_DNSSECBandwidth(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11_CPUUsage regenerates Fig 11 (CPU vs TCP timeout).
+func BenchmarkFig11_CPUUsage(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig13_TCPFootprint regenerates Fig 13 a-c (all-TCP memory and
+// connection state vs timeout).
+func BenchmarkFig13_TCPFootprint(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14_TLSFootprint regenerates Fig 14 a-c (all-TLS).
+func BenchmarkFig14_TLSFootprint(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15a_LatencyAllClients regenerates Fig 15a.
+func BenchmarkFig15a_LatencyAllClients(b *testing.B) { benchExperiment(b, "fig15a") }
+
+// BenchmarkFig15b_LatencyNonBusy regenerates Fig 15b.
+func BenchmarkFig15b_LatencyNonBusy(b *testing.B) { benchExperiment(b, "fig15b") }
+
+// BenchmarkFig15c_ClientLoadCDF regenerates Fig 15c.
+func BenchmarkFig15c_ClientLoadCDF(b *testing.B) { benchExperiment(b, "fig15c") }
+
+// BenchmarkAblations runs the design-choice ablations of DESIGN.md.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// sanity: unknown experiment ids are rejected, so a typo in the bench
+// list above would fail fast rather than silently bench nothing.
+func TestBenchIDsResolve(t *testing.T) {
+	if _, err := experiments.ByID("fig99", experiments.Tiny); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+	if fmt.Sprintf("%T", experiments.Tiny) != "experiments.Scale" {
+		t.Error("unexpected scale type")
+	}
+}

@@ -1,0 +1,78 @@
+// Command ldp-experiments regenerates the paper's tables and figures
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for expected
+// output).
+//
+// Usage:
+//
+//	ldp-experiments -run all -scale small
+//	ldp-experiments -run fig10
+//	ldp-experiments -run ablation -scale tiny
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"ldplayer/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldp-experiments: ")
+
+	run := flag.String("run", "all", "experiment id (table1, fig6..fig15c, ablation) or 'all'")
+	scaleName := flag.String("scale", "small", "tiny | small | large")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = experiments.Tiny
+	case "small":
+		sc = experiments.Small
+	case "large":
+		sc = experiments.Large
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	start := time.Now()
+	var results []*experiments.Result
+	var err error
+	if *run == "all" {
+		results, err = experiments.All(sc)
+	} else {
+		var res *experiments.Result
+		res, err = experiments.ByID(*run, sc)
+		if res != nil {
+			results = []*experiments.Result{res}
+		}
+	}
+	for _, res := range results {
+		fmt.Println(res.Render())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	failed := 0
+	total := 0
+	for _, res := range results {
+		for _, c := range res.Checks {
+			total++
+			if !c.Pass {
+				failed++
+			}
+		}
+	}
+	fmt.Printf("%s\n", strings.Repeat("=", 60))
+	fmt.Printf("scale=%s elapsed=%v shape checks: %d/%d pass\n",
+		sc.Name, time.Since(start).Round(time.Second), total-failed, total)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,202 @@
+// Command ldp-replay is LDplayer's distributed replay client (paper §2.6
+// and Fig 4). It runs in one of three roles:
+//
+//	standalone  — read a trace and replay it from this host:
+//	              ldp-replay -input trace.ldpb -target 127.0.0.1:5300
+//	controller  — stream a trace to remote distributor clients:
+//	              ldp-replay -role controller -input trace.ldpb -listen :9053 -clients 2
+//	client      — receive from a controller and replay locally:
+//	              ldp-replay -role client -controller ctrl:9053 -target ns:53
+//
+// Input files are detected by extension: .pcap, .txt (plain text), or
+// .ldpb (internal binary). Mutations apply in-line during replay.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/pcap"
+	"ldplayer/internal/replay"
+	"ldplayer/internal/server"
+	"ldplayer/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldp-replay: ")
+
+	role := flag.String("role", "standalone", "standalone | controller | client")
+	input := flag.String("input", "", "trace file (.pcap, .txt, .ldpb)")
+	target := flag.String("target", "", "DNS server to replay against (host:port)")
+	listen := flag.String("listen", ":9053", "controller listen address")
+	controller := flag.String("controller", "", "controller address (client role)")
+	clients := flag.Int("clients", 1, "distributor clients the controller waits for")
+	distributors := flag.Int("distributors", 1, "local distributor processes")
+	queriers := flag.Int("queriers", 4, "querier processes per distributor")
+	fast := flag.Bool("fast", false, "replay as fast as possible (ignore trace timing)")
+	connTimeout := flag.Duration("conn-timeout", 20*time.Second, "TCP/TLS connection reuse timeout")
+	forceProto := flag.String("force-protocol", "", "mutate all queries to udp|tcp|tls")
+	doFrac := flag.Float64("do", -1, "mutate the DNSSEC-OK fraction (0..1; -1 keeps original)")
+	prefix := flag.String("prefix", "", "prefix query names for replay matching")
+	tlsInsecure := flag.Bool("tls-insecure", false, "accept any server certificate for DNS-over-TLS")
+	flag.Parse()
+
+	switch *role {
+	case "standalone":
+		runStandalone(*input, *target, *distributors, *queriers, *fast, *connTimeout,
+			*forceProto, *doFrac, *prefix, *tlsInsecure)
+	case "controller":
+		runController(*input, *listen, *clients, *forceProto, *doFrac, *prefix)
+	case "client":
+		runClient(*controller, *target, *queriers, *fast, *connTimeout, *tlsInsecure)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+func openTrace(path string) trace.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open input: %v", err)
+	}
+	switch filepath.Ext(path) {
+	case ".pcap":
+		r, err := pcap.NewDNSReader(f)
+		if err != nil {
+			log.Fatalf("pcap: %v", err)
+		}
+		return r
+	case ".txt":
+		return trace.NewTextReader(f)
+	case ".ldpb", "":
+		return trace.NewBinaryReader(f)
+	default:
+		log.Fatalf("unknown trace extension %q", filepath.Ext(path))
+		return nil
+	}
+}
+
+func buildMutator(forceProto string, doFrac float64, prefix string) mutate.Mutator {
+	chain := mutate.Chain{mutate.QueriesOnly()}
+	if forceProto != "" {
+		p, err := trace.ProtoFromString(forceProto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chain = append(chain, mutate.ForceProtocol(p))
+	}
+	if doFrac >= 0 {
+		chain = append(chain, mutate.SetDO(doFrac, 4096))
+	}
+	if prefix != "" {
+		chain = append(chain, mutate.PrefixQNames(prefix))
+	}
+	return chain
+}
+
+func engineConfig(target string, distributors, queriers int, fast bool, connTimeout time.Duration, tlsInsecure bool) replay.Config {
+	ap, err := netip.ParseAddrPort(target)
+	if err != nil {
+		log.Fatalf("bad -target %q: %v", target, err)
+	}
+	cfg := replay.Config{
+		Server:                 ap,
+		Distributors:           distributors,
+		QueriersPerDistributor: queriers,
+		ConnIdleTimeout:        connTimeout,
+	}
+	if fast {
+		cfg.Mode = replay.FastAsPossible
+	}
+	if tlsInsecure {
+		_, cliCfg, err := server.SelfSignedTLS(ap.Addr().String())
+		if err == nil {
+			cliCfg.InsecureSkipVerify = true
+			cfg.TLSConfig = cliCfg
+		}
+	}
+	return cfg
+}
+
+func runStandalone(input, target string, distributors, queriers int, fast bool,
+	connTimeout time.Duration, forceProto string, doFrac float64, prefix string, tlsInsecure bool) {
+	if input == "" || target == "" {
+		log.Fatal("standalone role needs -input and -target")
+	}
+	src := mutate.NewReader(openTrace(input), buildMutator(forceProto, doFrac, prefix))
+	eng, err := replay.New(engineConfig(target, distributors, queriers, fast, connTimeout, tlsInsecure))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eng.Run(context.Background(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+}
+
+func runController(input, listen string, clients int, forceProto string, doFrac float64, prefix string) {
+	if input == "" {
+		log.Fatal("controller role needs -input")
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("controller on %s, waiting for %d client(s)", ln.Addr(), clients)
+	src := mutate.NewReader(openTrace(input), buildMutator(forceProto, doFrac, prefix))
+	if err := replay.ServeController(context.Background(), ln, src, clients); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("stream complete")
+}
+
+func runClient(controller, target string, queriers int, fast bool, connTimeout time.Duration, tlsInsecure bool) {
+	if controller == "" || target == "" {
+		log.Fatal("client role needs -controller and -target")
+	}
+	cfg := engineConfig(target, 1, queriers, fast, connTimeout, tlsInsecure)
+	rep, err := replay.RunRemoteClient(context.Background(), controller, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+}
+
+func printReport(rep *replay.Report) {
+	fmt.Printf("sent:        %d queries (%d bytes)\n", rep.Sent, rep.BytesSent)
+	fmt.Printf("responses:   %d (%d timed out)\n", rep.Responses, rep.Timeouts)
+	fmt.Printf("send errors: %d\n", rep.SendErrs)
+	fmt.Printf("connections: %d opened\n", rep.ConnsOpened)
+	fmt.Printf("duration:    %v", rep.Duration)
+	if rep.Duration > 0 {
+		fmt.Printf("  (%.0f q/s)", float64(rep.Sent)/rep.Duration.Seconds())
+	}
+	fmt.Println()
+	if len(rep.Results) > 0 {
+		var worst time.Duration
+		var count int
+		for _, r := range rep.Results {
+			d := r.SentOffset - r.TraceOffset
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+			if r.RTT >= 0 {
+				count++
+			}
+		}
+		fmt.Printf("timing:      worst send-time error %v; %d RTTs measured\n", worst, count)
+	}
+}

@@ -1,0 +1,134 @@
+// Command ldp-server runs LDplayer's authoritative DNS server: one or
+// more zones served over UDP, TCP and optionally TLS (self-signed), with
+// the idle-timeout knob the §5.2 experiments sweep.
+//
+// Usage:
+//
+//	ldp-server -zone root.zone -zone com.zone -udp :5300 -tcp :5300
+//	ldp-server -zone example.zone -tls :8530 -tcp-timeout 20s
+//
+// Zone origins are taken from each file's $ORIGIN directive.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"ldplayer/internal/server"
+	"ldplayer/internal/zone"
+)
+
+type zoneList []string
+
+func (z *zoneList) String() string     { return strings.Join(*z, ",") }
+func (z *zoneList) Set(s string) error { *z = append(*z, s); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldp-server: ")
+
+	var zones zoneList
+	flag.Var(&zones, "zone", "zone file to serve (repeatable; $ORIGIN sets the origin)")
+	udpAddr := flag.String("udp", ":5300", "UDP listen address (empty disables)")
+	tcpAddr := flag.String("tcp", ":5300", "TCP listen address (empty disables)")
+	tlsAddr := flag.String("tls", "", "TLS listen address with a self-signed certificate (empty disables)")
+	timeout := flag.Duration("tcp-timeout", 20*time.Second, "idle timeout for TCP/TLS connections")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+	flag.Parse()
+
+	if len(zones) == 0 {
+		log.Fatal("at least one -zone is required")
+	}
+	srv := server.New(server.Config{TCPIdleTimeout: *timeout})
+	for _, path := range zones {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("open %s: %v", path, err)
+		}
+		z, err := zone.Parse(f, "")
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse %s: %v", path, err)
+		}
+		if err := z.Validate(); err != nil {
+			log.Fatalf("validate %s: %v", path, err)
+		}
+		if err := srv.AddZone(z); err != nil {
+			log.Fatalf("add %s: %v", path, err)
+		}
+		log.Printf("serving zone %s (%d records) from %s", z.Origin, z.RecordCount(), path)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 3)
+
+	if *udpAddr != "" {
+		pc, err := net.ListenPacket("udp", *udpAddr)
+		if err != nil {
+			log.Fatalf("udp listen: %v", err)
+		}
+		log.Printf("udp on %s", pc.LocalAddr())
+		go func() { errCh <- srv.ServeUDP(ctx, pc) }()
+	}
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatalf("tcp listen: %v", err)
+		}
+		log.Printf("tcp on %s (idle timeout %v)", ln.Addr(), *timeout)
+		go func() { errCh <- srv.ServeTCP(ctx, ln) }()
+	}
+	if *tlsAddr != "" {
+		host, _, err := net.SplitHostPort(*tlsAddr)
+		if err != nil || host == "" {
+			host = "localhost"
+		}
+		tlsCfg, _, err := server.SelfSignedTLS(host)
+		if err != nil {
+			log.Fatalf("tls cert: %v", err)
+		}
+		ln, err := net.Listen("tcp", *tlsAddr)
+		if err != nil {
+			log.Fatalf("tls listen: %v", err)
+		}
+		log.Printf("tls on %s (self-signed for %q)", ln.Addr(), host)
+		go func() { errCh <- srv.ServeTLS(ctx, ln, tlsCfg) }()
+	}
+
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					s := srv.Stats()
+					log.Printf("queries=%d (udp=%d tcp=%d tls=%d) refused=%d truncated=%d conns: tcp=%d tls=%d",
+						s.Queries, s.UDPQueries, s.TCPQueries, s.TLSQueries,
+						s.Refused, s.Truncated, s.TCPConnsOpen, s.TLSConnsOpen)
+				}
+			}
+		}()
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Println()
+		s := srv.Stats()
+		log.Printf("final: %d queries, %d responses, %d bytes out", s.Queries, s.Responses, s.BytesOut)
+	case err := <-errCh:
+		if err != nil && ctx.Err() == nil {
+			log.Fatalf("listener: %v", err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Recursivereplay: the paper's flagship configuration (Fig 1, left
+// path). The distributed query engine replays a recursive workload
+// against a live recursive DNS server; the recursive server resolves
+// through the emulated hierarchy — one server process behind proxies
+// answering as root, TLDs and SLDs. Caching, referrals and replay
+// timing interact end to end, which is what LDplayer exists to measure.
+//
+//	go run ./examples/recursivereplay
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"ldplayer"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/workload"
+	"ldplayer/internal/zonegen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A synthetic hierarchy and its emulation (meta-server + proxies).
+	h, err := ldplayer.GenerateHierarchy(zonegen.Config{
+		TLDs: []string{"com", "org", "net"}, SLDsPerTLD: 4, HostsPerSLD: 4, Seed: 77,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var upstream atomic.Int64
+	cfg := ldplayer.DefaultEmulationConfig()
+	cfg.Tap = func(netip.AddrPort, *dnsmsg.Msg, *dnsmsg.Msg) { upstream.Add(1) }
+	em, err := ldplayer.NewEmulation(h, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emulating %d zones on one server process\n", len(h.Zones))
+
+	// 2. The recursive server listens on loopback UDP, resolving through
+	//    the emulation.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go em.Resolver.ServeUDP(ctx, pc, 128)
+	target := pc.LocalAddr().(*net.UDPAddr).AddrPort()
+	fmt.Printf("recursive server on %s\n", target)
+
+	// 3. A Rec-17-model workload: few clients, bursty arrivals, names
+	//    spread over the hierarchy's real domains.
+	tr := workload.RecModel(workload.RecConfig{
+		Duration: 5 * time.Second,
+		Queries:  800,
+		Clients:  40,
+		Zones:    h.SLDs,
+		Seed:     78,
+	})
+	fmt.Printf("replaying %d recursive queries over %v\n", len(tr.Events), 5*time.Second)
+
+	// 4. Replay with original timing.
+	rep, err := ldplayer.Replay(ctx, ldplayer.ReplayConfig{
+		Server:                 netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), target.Port()),
+		QueriersPerDistributor: 2,
+		ResponseTimeout:        3 * time.Second,
+	}, readerOf(tr))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nstub queries sent:       %d\n", rep.Sent)
+	fmt.Printf("answers received:        %d\n", rep.Responses)
+	fmt.Printf("upstream exchanges:      %d  (caching absorbed the rest)\n", upstream.Load())
+	hits, misses, _ := em.Resolver.Cache().Stats()
+	fmt.Printf("resolver cache:          %d hits, %d misses\n", hits, misses)
+	var rtts []time.Duration
+	for _, r := range rep.Results {
+		if r.RTT >= 0 {
+			rtts = append(rtts, r.RTT)
+		}
+	}
+	if len(rtts) > 0 {
+		fmt.Printf("stub latency (median):   %v\n", medianDur(rtts))
+	}
+}
+
+func medianDur(ds []time.Duration) time.Duration {
+	cp := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func readerOf(tr *ldplayer.Trace) ldplayer.TraceReader {
+	return &sliceReader{events: tr.Events}
+}
+
+type sliceReader struct {
+	events []*ldplayer.Event
+	i      int
+}
+
+func (s *sliceReader) Read() (*ldplayer.Event, error) {
+	if s.i >= len(s.events) {
+		return nil, io.EOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, nil
+}

@@ -1,0 +1,3 @@
+module ldplayer
+
+go 1.24

@@ -1,0 +1,58 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DNS over TCP and TLS frames each message with a 2-byte big-endian
+// length prefix (RFC 1035 §4.2.2, RFC 7858). These helpers are shared by
+// the server listeners, the replay queriers and the resolver's TCP path.
+
+// WriteTCPMsg writes one length-prefixed DNS message to w.
+func WriteTCPMsg(w io.Writer, msg []byte) error {
+	if len(msg) > MaxMsgSize {
+		return ErrMsgTooLarge
+	}
+	var pfx [2]byte
+	binary.BigEndian.PutUint16(pfx[:], uint16(len(msg)))
+	// Write prefix and body in one call where possible to avoid two
+	// segments on the wire (the Nagle interaction the paper tunes away).
+	buf := make([]byte, 0, 2+len(msg))
+	buf = append(buf, pfx[:]...)
+	buf = append(buf, msg...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadTCPMsg reads one length-prefixed DNS message from r. It returns
+// io.EOF cleanly when the stream ends on a message boundary.
+func ReadTCPMsg(r io.Reader) ([]byte, error) {
+	var pfx [2]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, err // io.EOF on clean close
+	}
+	n := int(binary.BigEndian.Uint16(pfx[:]))
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero length", ErrLengthPrefix)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendTCPMsg appends the length-prefixed form of msg to dst, for
+// batching multiple messages into one write.
+func AppendTCPMsg(dst, msg []byte) ([]byte, error) {
+	if len(msg) > MaxMsgSize {
+		return dst, ErrMsgTooLarge
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...), nil
+}

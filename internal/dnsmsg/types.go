@@ -1,0 +1,163 @@
+// Package dnsmsg implements the DNS wire format: message encoding and
+// decoding per RFC 1035, EDNS0 per RFC 6891, and the DNSSEC record types
+// of RFC 4034. It is the substrate every other package in this repository
+// builds on: the authoritative server, the recursive resolver, the trace
+// pipeline, and the replay engine all speak this codec.
+//
+// The codec is written in the spirit of gopacket's DecodingLayer: decoding
+// appends into caller-owned structures and avoids hidden copies where it
+// can, so the replay hot path does not allocate per query beyond the
+// message itself.
+package dnsmsg
+
+import "fmt"
+
+// Type is a DNS RR type code (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// RR type codes used throughout the experiments.
+const (
+	TypeNone   Type = 0
+	TypeA      Type = 1
+	TypeNS     Type = 2
+	TypeCNAME  Type = 5
+	TypeSOA    Type = 6
+	TypePTR    Type = 12
+	TypeMX     Type = 15
+	TypeTXT    Type = 16
+	TypeAAAA   Type = 28
+	TypeSRV    Type = 33
+	TypeOPT    Type = 41
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeNSEC   Type = 47
+	TypeDNSKEY Type = 48
+	TypeCAA    Type = 257
+	TypeAXFR   Type = 252
+	TypeANY    Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME", TypeSOA: "SOA",
+	TypePTR: "PTR", TypeMX: "MX", TypeTXT: "TXT", TypeAAAA: "AAAA",
+	TypeSRV: "SRV", TypeOPT: "OPT", TypeDS: "DS", TypeRRSIG: "RRSIG",
+	TypeNSEC: "NSEC", TypeDNSKEY: "DNSKEY", TypeCAA: "CAA", TypeANY: "ANY",
+	TypeAXFR: "AXFR",
+}
+
+var typeValues = func() map[string]Type {
+	m := make(map[string]Type, len(typeNames))
+	for t, s := range typeNames {
+		m[s] = t
+	}
+	return m
+}()
+
+// String returns the standard mnemonic, or the RFC 3597 TYPE### form for
+// unknown codes.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// TypeFromString parses a type mnemonic ("A", "AAAA", ...) or the RFC 3597
+// TYPE### form.
+func TypeFromString(s string) (Type, error) {
+	if t, ok := typeValues[s]; ok {
+		return t, nil
+	}
+	var n uint16
+	if _, err := fmt.Sscanf(s, "TYPE%d", &n); err == nil {
+		return Type(n), nil
+	}
+	return 0, fmt.Errorf("dnsmsg: unknown RR type %q", s)
+}
+
+// Class is a DNS class code. Only IN matters in practice; CH appears in
+// server-identification queries found in root traces.
+type Class uint16
+
+const (
+	ClassINET Class = 1
+	ClassCH   Class = 3
+	ClassANY  Class = 255
+)
+
+// String returns the standard mnemonic, or the RFC 3597 CLASS### form.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// ClassFromString parses a class mnemonic or the RFC 3597 CLASS### form.
+func ClassFromString(s string) (Class, error) {
+	switch s {
+	case "IN":
+		return ClassINET, nil
+	case "CH":
+		return ClassCH, nil
+	case "ANY":
+		return ClassANY, nil
+	}
+	var n uint16
+	if _, err := fmt.Sscanf(s, "CLASS%d", &n); err == nil {
+		return Class(n), nil
+	}
+	return 0, fmt.Errorf("dnsmsg: unknown class %q", s)
+}
+
+// Opcode is the 4-bit operation code in the message header.
+type Opcode uint8
+
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeIQuery Opcode = 1
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// Rcode is the response code. The low 4 bits live in the header; EDNS can
+// extend it (not needed for these experiments).
+type Rcode uint8
+
+const (
+	RcodeSuccess  Rcode = 0 // NOERROR
+	RcodeFormat   Rcode = 1 // FORMERR
+	RcodeServFail Rcode = 2 // SERVFAIL
+	RcodeNXDomain Rcode = 3 // NXDOMAIN
+	RcodeNotImpl  Rcode = 4 // NOTIMP
+	RcodeRefused  Rcode = 5 // REFUSED
+)
+
+var rcodeNames = map[Rcode]string{
+	RcodeSuccess: "NOERROR", RcodeFormat: "FORMERR", RcodeServFail: "SERVFAIL",
+	RcodeNXDomain: "NXDOMAIN", RcodeNotImpl: "NOTIMP", RcodeRefused: "REFUSED",
+}
+
+// String returns the standard mnemonic ("NOERROR", "NXDOMAIN", ...).
+func (r Rcode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// Wire format limits (RFC 1035 §2.3.4).
+const (
+	MaxNameLen     = 255 // whole encoded name
+	MaxLabelLen    = 63  // single label
+	MaxUDPSize     = 512 // classic UDP payload limit without EDNS
+	DefaultEDNSUDP = 4096
+	// MaxMsgSize bounds any DNS message (TCP length prefix is 16 bits).
+	MaxMsgSize = 65535
+)

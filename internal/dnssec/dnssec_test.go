@@ -1,0 +1,272 @@
+package dnssec
+
+import (
+	"testing"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/zone"
+)
+
+const testZone = `
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1 admin 1 7200 3600 1209600 300
+@   IN NS ns1
+ns1 IN A 192.0.2.53
+www IN A 192.0.2.80
+www IN A 192.0.2.81
+sub IN NS ns1.sub
+ns1.sub IN A 192.0.2.100
+`
+
+func testKey(t testing.TB, flags uint16, bits int) *Key {
+	t.Helper()
+	k, err := GenerateKey(flags, bits, DeterministicRand(int64(bits)+int64(flags)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyGeneration(t *testing.T) {
+	k := testKey(t, FlagZSK, 1024)
+	pub := k.DNSKEY()
+	if pub.Flags != FlagZSK || pub.Protocol != 3 || pub.Algorithm != AlgRSASHA256 {
+		t.Errorf("DNSKEY=%+v", pub)
+	}
+	// RFC 3110 key material: 1-byte exp len + exponent + 128-byte modulus.
+	if len(pub.PublicKey) < 128 {
+		t.Errorf("public key only %d bytes", len(pub.PublicKey))
+	}
+	if k.KeyTag() == 0 {
+		t.Error("zero key tag (vanishingly unlikely)")
+	}
+	// Determinism: the same seed gives the same key.
+	k2, err := GenerateKey(FlagZSK, 1024, DeterministicRand(1024+FlagZSK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.KeyTag() != k.KeyTag() {
+		t.Error("deterministic keygen not deterministic")
+	}
+}
+
+func TestSignAndVerifyRRSet(t *testing.T) {
+	k := testKey(t, FlagZSK, 1024)
+	set := &zone.RRSet{
+		Name: "www.example.com.", Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 300,
+		Data: []dnsmsg.RData{
+			dnsmsg.A{Addr: mustAddr("192.0.2.2")},
+			dnsmsg.A{Addr: mustAddr("192.0.2.1")},
+		},
+	}
+	sigRR, err := k.SignRRSet(set, "example.com.", 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := sigRR.Data.(dnsmsg.RRSIG)
+	if sig.TypeCovered != dnsmsg.TypeA || sig.Labels != 3 || sig.SignerName != "example.com." {
+		t.Errorf("RRSIG=%+v", sig)
+	}
+	if len(sig.Signature) != 128 { // 1024-bit RSA
+		t.Errorf("signature %d bytes, want 128", len(sig.Signature))
+	}
+	if err := k.Verify(sigRR, set); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	// Verification must fail if the set changes.
+	tampered := *set
+	tampered.Data = set.Data[:1]
+	if err := k.Verify(sigRR, &tampered); err == nil {
+		t.Error("tampered rrset verified")
+	}
+	// Signature independent of rdata insertion order (canonical sort).
+	rev := &zone.RRSet{Name: set.Name, Type: set.Type, Class: set.Class, TTL: set.TTL,
+		Data: []dnsmsg.RData{set.Data[1], set.Data[0]}}
+	sigRR2, err := k.SignRRSet(rev, "example.com.", 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sigRR2.Data.(dnsmsg.RRSIG).Signature) != string(sig.Signature) {
+		t.Error("signature depends on rdata order")
+	}
+}
+
+func TestWildcardLabelCount(t *testing.T) {
+	if got := countSignLabels("*.example.com."); got != 2 {
+		t.Errorf("wildcard labels=%d want 2", got)
+	}
+	if got := countSignLabels("a.example.com."); got != 3 {
+		t.Errorf("labels=%d want 3", got)
+	}
+}
+
+func TestSignatureSizeScalesWithKey(t *testing.T) {
+	k1 := testKey(t, FlagZSK, 1024)
+	k2 := testKey(t, FlagZSK, 2048)
+	set := &zone.RRSet{Name: "x.example.com.", Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: []dnsmsg.RData{dnsmsg.A{Addr: mustAddr("192.0.2.1")}}}
+	s1, err := k1.SignRRSet(set, "example.com.", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := k2.SignRRSet(set, "example.com.", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := len(s1.Data.(dnsmsg.RRSIG).Signature)
+	l2 := len(s2.Data.(dnsmsg.RRSIG).Signature)
+	if l1 != 128 || l2 != 256 {
+		t.Errorf("signature sizes %d/%d want 128/256 — this ratio drives Fig 10", l1, l2)
+	}
+}
+
+func TestDS(t *testing.T) {
+	k := testKey(t, FlagKSK, 2048)
+	ds := k.DS("example.com.")
+	if ds.KeyTag != k.KeyTag() || ds.Algorithm != AlgRSASHA256 || ds.DigestType != 2 {
+		t.Errorf("DS=%+v", ds)
+	}
+	if len(ds.Digest) != 32 {
+		t.Errorf("digest %d bytes want 32", len(ds.Digest))
+	}
+	// Digest binds the owner name.
+	if string(k.DS("example.org.").Digest) == string(ds.Digest) {
+		t.Error("DS digest ignores owner name")
+	}
+}
+
+func TestSignZone(t *testing.T) {
+	z, err := zone.ParseString(testZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCount := z.RecordCount()
+	cfg := SignConfig{ZSKBits: 1024, Seed: 7}
+	s, err := NewSigner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SignZone(z, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if z.RecordCount() <= plainCount {
+		t.Fatal("signing added no records")
+	}
+	// DNSKEY published at apex, signed by KSK and ZSK.
+	keys, ok := z.Lookup("example.com.", dnsmsg.TypeDNSKEY)
+	if !ok || len(keys.Data) != 2 {
+		t.Fatalf("DNSKEY set=%+v", keys)
+	}
+	sigs, ok := z.Sigs("example.com.", dnsmsg.TypeDNSKEY)
+	if !ok || len(sigs.Data) != 2 {
+		t.Fatalf("DNSKEY sigs=%+v", sigs)
+	}
+	// Ordinary rrset signed once by the ZSK.
+	asigs, ok := z.Sigs("www.example.com.", dnsmsg.TypeA)
+	if !ok || len(asigs.Data) != 1 {
+		t.Fatalf("A sigs=%+v", asigs)
+	}
+	// Each signature verifies.
+	set, _ := z.Lookup("www.example.com.", dnsmsg.TypeA)
+	if err := s.ZSKs[0].Verify(asigs.RRs()[0], set); err != nil {
+		t.Errorf("zone signature does not verify: %v", err)
+	}
+	// NSEC chain exists and loops back to the apex.
+	nsec, ok := z.Lookup("example.com.", dnsmsg.TypeNSEC)
+	if !ok {
+		t.Fatal("no NSEC at apex")
+	}
+	// Delegation NS is NOT signed (parent is not authoritative for it)...
+	if _, ok := z.Sigs("sub.example.com.", dnsmsg.TypeNS); ok {
+		t.Error("delegation NS rrset was signed")
+	}
+	// ...and glue is not signed either.
+	if _, ok := z.Sigs("ns1.sub.example.com.", dnsmsg.TypeA); ok {
+		t.Error("glue was signed")
+	}
+	_ = nsec
+	// Signed query answers now carry RRSIGs.
+	a := z.Query("www.example.com.", dnsmsg.TypeA, true)
+	foundSig := false
+	for _, rr := range a.Answer {
+		if rr.Type == dnsmsg.TypeRRSIG {
+			foundSig = true
+		}
+	}
+	if !foundSig {
+		t.Error("DO query answer missing RRSIG")
+	}
+	// Without DO, no DNSSEC records appear.
+	a = z.Query("www.example.com.", dnsmsg.TypeA, false)
+	for _, rr := range a.Answer {
+		if rr.Type == dnsmsg.TypeRRSIG {
+			t.Error("non-DO answer contains RRSIG")
+		}
+	}
+}
+
+func TestSignZoneRollover(t *testing.T) {
+	build := func(rollover bool) int {
+		z, err := zone.ParseString(testZone, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := SignConfig{ZSKBits: 1024, Rollover: rollover, Seed: 11}
+		s, err := NewSigner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SignZone(z, s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		a := z.Query("www.example.com.", dnsmsg.TypeA, true)
+		size := 0
+		for _, rr := range a.Answer {
+			size += rr.WireLen()
+		}
+		return size
+	}
+	normal := build(false)
+	roll := build(true)
+	if roll <= normal {
+		t.Errorf("rollover answer (%d) not larger than normal (%d)", roll, normal)
+	}
+}
+
+func TestNSECChainClosed(t *testing.T) {
+	z, err := zone.ParseString(testZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SignConfig{ZSKBits: 1024, Seed: 3}
+	s, err := NewSigner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SignZone(z, s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Follow NextName pointers; the chain must return to the start and
+	// visit every NSEC owner exactly once.
+	start := z.Origin
+	seen := map[dnsmsg.Name]bool{}
+	cur := start
+	for {
+		set, ok := z.Lookup(cur, dnsmsg.TypeNSEC)
+		if !ok {
+			t.Fatalf("chain broken at %s", cur)
+		}
+		if seen[cur] {
+			t.Fatalf("chain revisits %s", cur)
+		}
+		seen[cur] = true
+		cur = set.Data[0].(dnsmsg.NSEC).NextName
+		if cur == start {
+			break
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("chain too short: %d names", len(seen))
+	}
+}

@@ -1,0 +1,5 @@
+package dnssec
+
+import "net/netip"
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }

@@ -1,0 +1,80 @@
+package dnssec
+
+import (
+	"crypto/rsa"
+	"errors"
+	"io"
+	"math/big"
+)
+
+// deterministicRSA builds an RSA key pair by searching for primes in a
+// byte stream read from rng. Unlike crypto/rsa.GenerateKey, the output is
+// a pure function of the stream, which lets experiments regenerate
+// byte-identical signed zones (and therefore byte-identical response
+// sizes) from a seed. The keys sign test traffic only; they secure
+// nothing.
+func deterministicRSA(bits int, rng io.Reader) (*rsa.PrivateKey, error) {
+	if bits < 128 {
+		return nil, errors.New("dnssec: modulus too small")
+	}
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for attempt := 0; attempt < 1000; attempt++ {
+		p, err := deterministicPrime(bits/2, rng)
+		if err != nil {
+			return nil, err
+		}
+		q, err := deterministicPrime(bits-bits/2, rng)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // e shares a factor with phi; next primes
+		}
+		key := &rsa.PrivateKey{
+			PublicKey: rsa.PublicKey{N: n, E: int(e.Int64())},
+			D:         d,
+			Primes:    []*big.Int{p, q},
+		}
+		key.Precompute()
+		if err := key.Validate(); err != nil {
+			continue
+		}
+		return key, nil
+	}
+	return nil, errors.New("dnssec: prime search exhausted")
+}
+
+// deterministicPrime scans candidates from the stream until one passes
+// Miller-Rabin. The top two bits are forced so products have full length;
+// the low bit is forced odd.
+func deterministicPrime(bits int, rng io.Reader) (*big.Int, error) {
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	for tries := 0; tries < 100000; tries++ {
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, err
+		}
+		// Trim excess high bits, then force the two top bits and oddness.
+		excess := bytes*8 - bits
+		buf[0] &= 0xFF >> excess
+		buf[0] |= 0xC0 >> excess
+		buf[bytes-1] |= 1
+		p := new(big.Int).SetBytes(buf)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+	return nil, errors.New("dnssec: no prime found in stream")
+}

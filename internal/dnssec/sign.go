@@ -1,0 +1,196 @@
+package dnssec
+
+import (
+	"fmt"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/zone"
+)
+
+// SignConfig controls whole-zone signing. The Fig 10 experiment sweeps
+// ZSKBits over {1024, 2048} and Rollover over {false, true}; rollover
+// publishes and signs with two ZSKs, doubling signature bulk the way a
+// pre-publish key roll does at the root.
+type SignConfig struct {
+	ZSKBits    int  // zone-signing key modulus size (default 1024)
+	KSKBits    int  // key-signing key modulus size (default 2048)
+	Rollover   bool // publish + sign with a second ZSK
+	Inception  uint32
+	Expiration uint32
+	Seed       int64 // deterministic key material; 0 means crypto/rand
+}
+
+// Signer holds the keys used to sign one zone.
+type Signer struct {
+	KSK  *Key
+	ZSKs []*Key
+}
+
+// NewSigner generates the key set for cfg.
+func NewSigner(cfg SignConfig) (*Signer, error) {
+	if cfg.ZSKBits == 0 {
+		cfg.ZSKBits = 1024
+	}
+	if cfg.KSKBits == 0 {
+		cfg.KSKBits = 2048
+	}
+	var rng = DeterministicRand(cfg.Seed)
+	if cfg.Seed == 0 {
+		rng = nil
+	}
+	ksk, err := GenerateKey(FlagKSK, cfg.KSKBits, rng)
+	if err != nil {
+		return nil, err
+	}
+	s := &Signer{KSK: ksk}
+	nz := 1
+	if cfg.Rollover {
+		nz = 2
+	}
+	for i := 0; i < nz; i++ {
+		zsk, err := GenerateKey(FlagZSK, cfg.ZSKBits, rng)
+		if err != nil {
+			return nil, err
+		}
+		s.ZSKs = append(s.ZSKs, zsk)
+	}
+	return s, nil
+}
+
+// SignZone signs z in place: it adds the DNSKEY rrset, an NSEC chain,
+// and RRSIGs over every authoritative rrset. The DNSKEY rrset is signed
+// by the KSK (and ZSKs), everything else by the ZSK(s). Glue and
+// occluded names below zone cuts are not signed (RFC 4035 §2.2); cuts
+// get NSEC records so signed referrals can prove DS absence.
+func SignZone(z *zone.Zone, s *Signer, cfg SignConfig) error {
+	if cfg.Inception == 0 {
+		cfg.Inception = 1461234567 // fixed epoch keeps zones reproducible
+	}
+	if cfg.Expiration == 0 {
+		cfg.Expiration = cfg.Inception + 30*86400
+	}
+	soa := z.SOA()
+	if soa == nil {
+		return fmt.Errorf("dnssec: zone %s has no SOA", z.Origin)
+	}
+
+	// Publish DNSKEYs.
+	keys := append([]*Key{s.KSK}, s.ZSKs...)
+	for _, k := range keys {
+		if err := z.Add(dnsmsg.RR{
+			Name: z.Origin, Type: dnsmsg.TypeDNSKEY, Class: z.Class,
+			TTL: soa.TTL, Data: k.DNSKEY(),
+		}); err != nil {
+			return err
+		}
+	}
+
+	cuts := make(map[dnsmsg.Name]bool)
+	for _, c := range z.Cuts() {
+		cuts[c] = true
+	}
+	glue := glueNames(z, cuts)
+
+	// NSEC chain over signable names (apex, in-zone names, cuts) in
+	// canonical order.
+	names := z.Names()
+	var chain []dnsmsg.Name
+	for _, n := range names {
+		if glue[n] && !cuts[n] && n != z.Origin {
+			continue
+		}
+		if below, cut := belowCut(n, cuts, z.Origin); below && n != cut {
+			continue
+		}
+		chain = append(chain, n)
+	}
+	for i, n := range chain {
+		next := chain[(i+1)%len(chain)]
+		var types []dnsmsg.Type
+		for _, set := range z.Sets(n) {
+			types = append(types, set.Type)
+		}
+		types = append(types, dnsmsg.TypeNSEC, dnsmsg.TypeRRSIG)
+		if err := z.Add(dnsmsg.RR{
+			Name: n, Type: dnsmsg.TypeNSEC, Class: z.Class,
+			TTL: soaMinimum(soa), Data: dnsmsg.NSEC{NextName: next, Types: types},
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Sign every authoritative rrset.
+	for _, n := range z.Names() {
+		if below, cut := belowCut(n, cuts, z.Origin); below && n != cut {
+			continue // occluded
+		}
+		isCut := cuts[n]
+		for _, set := range z.Sets(n) {
+			if isCut && set.Type != dnsmsg.TypeDS && set.Type != dnsmsg.TypeNSEC {
+				continue // parent does not sign the child's NS or glue
+			}
+			signers := s.ZSKs
+			if set.Type == dnsmsg.TypeDNSKEY {
+				signers = keys // KSK signs the key set; ZSKs co-sign
+			}
+			for _, k := range signers {
+				sig, err := k.SignRRSet(set, z.Origin, cfg.Inception, cfg.Expiration)
+				if err != nil {
+					return err
+				}
+				if err := z.Add(sig); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DSForZone returns the DS record set a parent zone should publish for
+// this signer's KSK.
+func (s *Signer) DSForZone(child dnsmsg.Name, ttl uint32) []dnsmsg.RR {
+	return []dnsmsg.RR{{
+		Name: child, Type: dnsmsg.TypeDS, Class: dnsmsg.ClassINET,
+		TTL: ttl, Data: s.KSK.DS(child),
+	}}
+}
+
+func soaMinimum(soa *zone.RRSet) uint32 {
+	if len(soa.Data) > 0 {
+		if s, ok := soa.Data[0].(dnsmsg.SOA); ok {
+			return s.Minimum
+		}
+	}
+	return soa.TTL
+}
+
+// glueNames finds names that exist only as address glue for delegations.
+func glueNames(z *zone.Zone, cuts map[dnsmsg.Name]bool) map[dnsmsg.Name]bool {
+	out := make(map[dnsmsg.Name]bool)
+	for cut := range cuts {
+		set, _ := z.Lookup(cut, dnsmsg.TypeNS)
+		if set == nil {
+			continue
+		}
+		for _, d := range set.Data {
+			if ns, ok := d.(dnsmsg.NS); ok {
+				out[ns.Host] = true
+			}
+		}
+	}
+	return out
+}
+
+// belowCut reports whether n sits strictly below a delegation cut.
+func belowCut(n dnsmsg.Name, cuts map[dnsmsg.Name]bool, origin dnsmsg.Name) (bool, dnsmsg.Name) {
+	for p := n; p != origin; p = p.Parent() {
+		if cuts[p] {
+			return true, p
+		}
+		if p.IsRoot() {
+			break
+		}
+	}
+	return false, ""
+}

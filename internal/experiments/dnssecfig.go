@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/dnssec"
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/server"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+	"ldplayer/internal/zonegen"
+)
+
+var errEOF = io.EOF
+
+// Fig10DNSSECBandwidth regenerates the paper's §5.1 experiment: replay a
+// B-Root trace against a signed root zone under each ZSK configuration
+// (1024, 2048, rollover) and each DO mix (the 2016 measured 72.3%, and
+// the what-if 100%), reporting the distribution of per-second response
+// bandwidth. Every response is produced by the real server code from a
+// really-signed zone, so sizes are genuine; only the trace is a model.
+func Fig10DNSSECBandwidth(sc Scale) (*Result, error) {
+	r := &Result{ID: "fig10", Title: "Bandwidth of responses under different DNSSEC ZSK sizes (Mb/s, scaled)"}
+
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration:   sc.TraceDuration,
+		MedianRate: sc.MedianRate,
+		Clients:    sc.Clients,
+		Seed:       10,
+	})
+
+	type cfg struct {
+		label    string
+		zskBits  int
+		rollover bool
+		doFrac   float64
+	}
+	cfgs := []cfg{
+		{"72.3%DO zsk1024", 1024, false, 0.723},
+		{"72.3%DO zsk2048", 2048, false, 0.723},
+		{"72.3%DO rollover2048", 2048, true, 0.723},
+		{"100%DO zsk1024", 1024, false, 1.0},
+		{"100%DO zsk2048", 2048, false, 1.0},
+		{"100%DO rollover2048", 2048, true, 1.0},
+		// §5.1's stated future work: 4096-bit ZSK.
+		{"100%DO zsk4096", 4096, false, 1.0},
+	}
+
+	// Signed zones are cached per key configuration (signing dominates
+	// otherwise).
+	zones := map[string]*server.Server{}
+	signedServer := func(bits int, rollover bool) (*server.Server, error) {
+		key := fmt.Sprintf("%d-%v", bits, rollover)
+		if s, ok := zones[key]; ok {
+			return s, nil
+		}
+		z := zonegen.RootZone(nil)
+		scfg := dnssec.SignConfig{ZSKBits: bits, Rollover: rollover, Seed: int64(bits) + 77}
+		signer, err := dnssec.NewSigner(scfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := dnssec.SignZone(z, signer, scfg); err != nil {
+			return nil, err
+		}
+		s := server.New(server.Config{})
+		if err := s.AddZone(z); err != nil {
+			return nil, err
+		}
+		zones[key] = s
+		return s, nil
+	}
+
+	medians := map[string]float64{}
+	r.addRow("%-24s %10s %10s %10s %10s %10s", "config", "p5", "p25", "median", "p75", "p95")
+	for _, c := range cfgs {
+		srv, err := signedServer(c.zskBits, c.rollover)
+		if err != nil {
+			return nil, err
+		}
+		mixed, err := mutate.Apply(tr, mutate.SetDO(c.doFrac, 4096))
+		if err != nil {
+			return nil, err
+		}
+		series, err := bandwidthSeries(srv, mixed)
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Summarize(series)
+		medians[c.label] = s.P50
+		r.addRow("%-24s %10.2f %10.2f %10.2f %10.2f %10.2f", c.label, s.P5, s.P25, s.P50, s.P75, s.P95)
+	}
+
+	// Shape checks against §5.1's headline numbers.
+	cur := medians["72.3%DO zsk2048"]
+	all := medians["100%DO zsk2048"]
+	growth := 100 * (all - cur) / cur
+	r.addCheck("all-DO traffic increase at 2048-bit ZSK", "+31% (225→296 Mb/s)",
+		fmt.Sprintf("%+.0f%%", growth), growth > 15 && growth < 50)
+	k1, k2 := medians["72.3%DO zsk1024"], medians["72.3%DO zsk2048"]
+	keyGrowth := 100 * (k2 - k1) / k1
+	r.addCheck("1024→2048-bit ZSK increase", "+32%",
+		fmt.Sprintf("%+.0f%%", keyGrowth), keyGrowth > 15 && keyGrowth < 55)
+	roll := medians["72.3%DO rollover2048"]
+	r.addCheck("rollover above normal (two published+signing ZSKs)", "higher",
+		fmt.Sprintf("%.2f vs %.2f Mb/s", roll, k2), roll > k2)
+	k4 := medians["100%DO zsk4096"]
+	r.addCheck("4096-bit ZSK continues the growth (paper's future work)", "larger again",
+		fmt.Sprintf("%.2f vs %.2f Mb/s", k4, all), k4 > all)
+	return r, nil
+}
+
+// bandwidthSeries answers every query in the trace with the real server
+// and bins response bits into per-second windows (Mb/s values returned).
+func bandwidthSeries(srv *server.Server, tr *trace.Trace) ([]float64, error) {
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	start := tr.Events[0].Time
+	bins := map[int]int{}
+	var req dnsmsg.Msg
+	for _, ev := range tr.Events {
+		if !ev.IsQuery() {
+			continue
+		}
+		if err := req.Unpack(ev.Wire); err != nil {
+			continue
+		}
+		resp := srv.HandleQuery(clientOf(ev), &req, 512)
+		wire, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		sec := int(ev.Time.Sub(start) / time.Second)
+		bins[sec] += len(wire)
+	}
+	maxSec := 0
+	for s := range bins {
+		if s > maxSec {
+			maxSec = s
+		}
+	}
+	out := make([]float64, 0, maxSec+1)
+	for s := 0; s <= maxSec; s++ {
+		out = append(out, float64(bins[s])*8/1e6)
+	}
+	return out, nil
+}
+
+func clientOf(ev *trace.Event) netip.Addr { return ev.Src.Addr() }

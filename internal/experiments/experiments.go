@@ -1,0 +1,165 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation (§4) and applications (§5) sections. Each driver
+// regenerates the artifact's data at a configurable scale and renders it
+// as text rows comparable with the published figure. The cmd/ldp-
+// experiments binary and the repository's bench harness both call these.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scale shrinks experiments to fit the host. The paper's runs used
+// hour-long traces at 38 kq/s on a testbed; Tiny keeps every code path
+// but runs in seconds on one core.
+type Scale struct {
+	Name string
+	// TraceDuration for model traces (paper: 1 hour).
+	TraceDuration time.Duration
+	// MedianRate for B-Root-model traces (paper: ~38000 q/s).
+	MedianRate float64
+	// Clients in model traces (paper: ~1M).
+	Clients int
+	// LiveRate caps the query rate for real-socket replays.
+	LiveRate float64
+	// LiveDuration bounds real-socket replay wall time.
+	LiveDuration time.Duration
+	// Trials for repeated runs (paper: 5).
+	Trials int
+}
+
+// Predefined scales.
+var (
+	// Tiny is for unit tests and benches: everything in a few seconds.
+	Tiny = Scale{
+		Name: "tiny", TraceDuration: 60 * time.Second, MedianRate: 400,
+		Clients: 200, LiveRate: 200, LiveDuration: 2 * time.Second, Trials: 2,
+	}
+	// Small is the default for the CLI: minutes, clear statistics.
+	Small = Scale{
+		Name: "small", TraceDuration: 5 * time.Minute, MedianRate: 1000,
+		Clients: 3000, LiveRate: 1000, LiveDuration: 20 * time.Second, Trials: 3,
+	}
+	// Large approaches the paper's shape where a laptop allows.
+	Large = Scale{
+		Name: "large", TraceDuration: 20 * time.Minute, MedianRate: 4000,
+		Clients: 50000, LiveRate: 4000, LiveDuration: 60 * time.Second, Trials: 5,
+	}
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID    string // "table1", "fig6", ...
+	Title string
+	Rows  []string // formatted output lines
+	// Checks are shape assertions against the paper's reported numbers;
+	// each carries its outcome so EXPERIMENTS.md can cite them.
+	Checks []Check
+}
+
+// Check is a shape comparison with the paper.
+type Check struct {
+	Name     string
+	Paper    string // what the paper reports
+	Measured string // what this run measured
+	Pass     bool
+}
+
+func (r *Result) addRow(format string, args ...interface{}) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) addCheck(name, paper, measured string, pass bool) {
+	r.Checks = append(r.Checks, Check{Name: name, Paper: paper, Measured: measured, Pass: pass})
+}
+
+// Render formats the result for terminal output.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		sb.WriteString(row)
+		sb.WriteByte('\n')
+	}
+	if len(r.Checks) > 0 {
+		sb.WriteString("-- shape checks vs paper --\n")
+		for _, c := range r.Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "DIVERGES"
+			}
+			fmt.Fprintf(&sb, "[%s] %s: paper %s, measured %s\n", status, c.Name, c.Paper, c.Measured)
+		}
+	}
+	return sb.String()
+}
+
+// All runs every experiment at the given scale, in paper order.
+func All(sc Scale) ([]*Result, error) {
+	type runner struct {
+		id string
+		fn func(Scale) (*Result, error)
+	}
+	runners := []runner{
+		{"table1", Table1},
+		{"fig6", Fig6TimingError},
+		{"fig7", Fig7InterArrivalCDF},
+		{"fig8", Fig8RateDifference},
+		{"fig9", Fig9Throughput},
+		{"fig10", Fig10DNSSECBandwidth},
+		{"fig11", Fig11CPUUsage},
+		{"fig13", Fig13TCPFootprint},
+		{"fig14", Fig14TLSFootprint},
+		{"fig15a", Fig15aLatencyAllClients},
+		{"fig15b", Fig15bLatencyNonBusy},
+		{"fig15c", Fig15cClientLoadCDF},
+	}
+	var out []*Result
+	for _, r := range runners {
+		res, err := r.fn(sc)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", r.id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment by identifier.
+func ByID(id string, sc Scale) (*Result, error) {
+	switch id {
+	case "table1":
+		return Table1(sc)
+	case "fig6":
+		return Fig6TimingError(sc)
+	case "fig7":
+		return Fig7InterArrivalCDF(sc)
+	case "fig8":
+		return Fig8RateDifference(sc)
+	case "fig9":
+		return Fig9Throughput(sc)
+	case "fig10":
+		return Fig10DNSSECBandwidth(sc)
+	case "fig11":
+		return Fig11CPUUsage(sc)
+	case "fig13":
+		return Fig13TCPFootprint(sc)
+	case "fig14":
+		return Fig14TLSFootprint(sc)
+	case "fig15a":
+		return Fig15aLatencyAllClients(sc)
+	case "fig15b":
+		return Fig15bLatencyNonBusy(sc)
+	case "fig15c":
+		return Fig15cClientLoadCDF(sc)
+	case "ablation":
+		return Ablations(sc)
+	case "dos":
+		return DoSOverload(sc)
+	case "live-footprint":
+		return LiveFootprint(sc)
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q", id)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment runs at Tiny scale and its shape checks against the
+// paper must hold even there — these are the repository's core
+// reproduction assertions.
+
+func runExperiment(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := ByID(id, Tiny)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("%s: no output rows", id)
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("%s check %q diverges: paper %s, measured %s", id, c.Name, c.Paper, c.Measured)
+		}
+	}
+	if !strings.Contains(res.Render(), res.Title) {
+		t.Errorf("%s: render missing title", id)
+	}
+	return res
+}
+
+func TestTable1(t *testing.T) { runExperiment(t, "table1") }
+func TestFig6(t *testing.T)   { runExperiment(t, "fig6") }
+func TestFig7(t *testing.T)   { runExperiment(t, "fig7") }
+func TestFig8(t *testing.T)   { runExperiment(t, "fig8") }
+func TestFig9(t *testing.T)   { runExperiment(t, "fig9") }
+func TestFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA zone signing is slow")
+	}
+	runExperiment(t, "fig10")
+}
+func TestFig11(t *testing.T)  { runExperiment(t, "fig11") }
+func TestFig13(t *testing.T)  { runExperiment(t, "fig13") }
+func TestFig14(t *testing.T)  { runExperiment(t, "fig14") }
+func TestFig15a(t *testing.T) { runExperiment(t, "fig15a") }
+func TestFig15b(t *testing.T) { runExperiment(t, "fig15b") }
+func TestFig15c(t *testing.T) { runExperiment(t, "fig15c") }
+func TestAblations(t *testing.T) {
+	res := runExperiment(t, "ablation")
+	if len(res.Checks) < 3 {
+		t.Errorf("ablations=%d", len(res.Checks))
+	}
+}
+
+func TestDoSOverload(t *testing.T) { runExperiment(t, "dos") }
+
+func TestLiveFootprint(t *testing.T) { runExperiment(t, "live-footprint") }
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99", Tiny); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

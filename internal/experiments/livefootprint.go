@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/replay"
+	"ldplayer/internal/server"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+)
+
+// LiveFootprint is the live-socket counterpart of Fig 13 (extension):
+// replay an all-TCP trace against the real server on loopback while a
+// monitor samples actual connection counts and process memory — the
+// measurements the paper took with netstat and top, here on our own
+// server implementation at loopback scale.
+func LiveFootprint(sc Scale) (*Result, error) {
+	r := &Result{ID: "live-footprint", Title: "Live server footprint during all-TCP replay (extension)"}
+	ls, err := startLiveServer()
+	if err != nil {
+		return nil, err
+	}
+	defer ls.stop()
+
+	const sources = 40
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration:   sc.LiveDuration,
+		MedianRate: sc.LiveRate / 2,
+		Clients:    sources,
+		Seed:       60,
+	})
+	allTCP, err := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	if err != nil {
+		return nil, err
+	}
+
+	monCtx, monCancel := context.WithCancel(context.Background())
+	defer monCancel()
+	monDone := make(chan *server.Monitor, 1)
+	go func() { monDone <- server.Watch(monCtx, ls.srv, 200*time.Millisecond) }()
+
+	eng, err := replay.New(replay.Config{
+		Server:                 ls.addr,
+		Distributors:           1,
+		QueriersPerDistributor: 2,
+		ConnIdleTimeout:        time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.Run(context.Background(), &sliceReader{events: allTCP.Events})
+	if err != nil {
+		return nil, err
+	}
+	// Observe the idle close-down after the replay ends.
+	time.Sleep(1500 * time.Millisecond)
+	monCancel()
+	mon := <-monDone
+
+	peak := 0.0
+	for _, v := range mon.TCPConns.Values {
+		if v > peak {
+			peak = v
+		}
+	}
+	final := mon.TCPConns.Last()
+	r.addRow("replayed %d TCP queries from %d sources: %d connections opened",
+		rep.Sent, sources, rep.ConnsOpened)
+	r.addRow("live connection curve: peak %0.f established, %0.f after idle timeout", peak, final)
+	r.addRow("process heap peak: %.1f MB", maxOf(mon.Memory.Values)/1e6)
+
+	r.addCheck("established connections bounded by source count (reuse)",
+		"one connection per active source (§2.6)",
+		fmt.Sprintf("peak %.0f for %d sources", peak, sources),
+		peak > 0 && peak <= sources+2)
+	r.addCheck("connections drain after the idle timeout",
+		"servers close idle connections (§5.2)",
+		fmt.Sprintf("%.0f left after timeout", final), final <= peak/2)
+	return r, nil
+}
+
+func maxOf(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+)
+
+// Table1 regenerates the paper's trace inventory: for each trace the
+// mean±sd query inter-arrival, distinct client count and record count.
+// The B-Root and Rec traces are statistical models of the originals
+// (scaled per sc); the synthetic traces syn-0..4 are exact.
+func Table1(sc Scale) (*Result, error) {
+	r := &Result{ID: "table1", Title: "DNS traces used in experiments and evaluation"}
+	r.addRow("%-10s %12s %14s %10s %10s", "trace", "duration", "inter-arrival", "clients", "records")
+
+	type entry struct {
+		name string
+		tr   *trace.Trace
+	}
+	var entries []entry
+
+	broot := workload.BRootModel(workload.BRootConfig{
+		Duration:   sc.TraceDuration,
+		MedianRate: sc.MedianRate,
+		Clients:    sc.Clients,
+		Seed:       16,
+	})
+	entries = append(entries, entry{"B-Root-16*", broot})
+	broot17 := workload.BRootModel(workload.BRootConfig{
+		Duration:   sc.TraceDuration,
+		MedianRate: sc.MedianRate * 1.03, // 2017 rates were slightly higher
+		Clients:    sc.Clients,
+		DOFraction: 0.80,
+		Seed:       17,
+	})
+	entries = append(entries, entry{"B-Root-17a*", broot17})
+	rec := workload.RecModel(workload.RecConfig{
+		Duration: sc.TraceDuration,
+		Queries:  int(sc.TraceDuration.Seconds() * 5.5), // Rec-17: ~5.5 q/s mean
+		Clients:  91,
+		Seed:     20,
+	})
+	entries = append(entries, entry{"Rec-17*", rec})
+
+	synScale := sc.TraceDuration.Seconds() / 60 / 60 // syn traces are 60 s in the paper
+	if synScale <= 0 || synScale > 1 {
+		synScale = 0.1
+	}
+	syn := workload.Table1Synthetics(synScale)
+	var synNames []string
+	for name := range syn {
+		synNames = append(synNames, name)
+	}
+	sort.Strings(synNames)
+	for _, name := range synNames {
+		entries = append(entries, entry{name, syn[name]})
+	}
+
+	for _, e := range entries {
+		st := e.tr.ComputeStats()
+		r.addRow("%-10s %12s %7.6f±%.6f %10d %10d",
+			e.name, st.Duration.Round(time.Second),
+			st.InterArrival.Seconds(), st.InterArrSD.Seconds(),
+			st.Clients, st.Records)
+	}
+
+	// Shape checks: the properties the paper's Table 1 documents.
+	bst := broot.ComputeStats()
+	doFrac := float64(bst.DOQueries) / float64(bst.Queries)
+	r.addCheck("B-Root DO fraction", "72.3% (2016)",
+		fmt.Sprintf("%.1f%%", 100*doFrac), doFrac > 0.68 && doFrac < 0.77)
+	tcpFrac := float64(bst.ProtoCounts[trace.TCP]) / float64(bst.Queries)
+	r.addCheck("B-Root TCP fraction", "3%",
+		fmt.Sprintf("%.1f%%", 100*tcpFrac), tcpFrac > 0.005 && tcpFrac < 0.08)
+	rst := rec.ComputeStats()
+	r.addCheck("Rec-17 bursty inter-arrival (sd≈2×mean)", "0.18±0.36 s",
+		fmt.Sprintf("%.3f±%.3f s", rst.InterArrival.Seconds(), rst.InterArrSD.Seconds()),
+		rst.InterArrSD > rst.InterArrival/2)
+	s2 := syn["syn-2"].ComputeStats()
+	meanErr := s2.InterArrival - 10*time.Millisecond
+	if meanErr < 0 {
+		meanErr = -meanErr
+	}
+	r.addCheck("syn-2 fixed 10 ms inter-arrival", ".01 s exactly",
+		fmt.Sprintf("%.6f s sd %.6f", s2.InterArrival.Seconds(), s2.InterArrSD.Seconds()),
+		meanErr < time.Microsecond && s2.InterArrSD < time.Microsecond)
+	return r, nil
+}

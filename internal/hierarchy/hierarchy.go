@@ -1,0 +1,265 @@
+// Package hierarchy assembles LDplayer's hierarchy emulation: a single
+// meta-DNS-server hosting every zone behind split-horizon views, the two
+// address-rewriting proxies, the TUN-style redirect rules, and a
+// recursive resolver whose upstream traffic flows through all of it
+// (paper §2.4, Fig 2). A resolver walking root → TLD → SLD here performs
+// the same number of round trips, receives the same referrals, and
+// caches the same records as it would against independent servers.
+package hierarchy
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"ldplayer/internal/cache"
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/proxy"
+	"ldplayer/internal/resolver"
+	"ldplayer/internal/server"
+	"ldplayer/internal/vnet"
+	"ldplayer/internal/zonegen"
+)
+
+// Config carries the emulation's address plan and resolver knobs.
+type Config struct {
+	RecursiveAddr netip.Addr
+	MetaAddr      netip.Addr
+	RecProxyAddr  netip.Addr
+	AuthProxyAddr netip.Addr
+	EDNSSize      uint16
+	DO            bool
+	Tap           resolver.Tap
+	Cache         *cache.Cache
+}
+
+// DefaultConfig returns the standard testbed address plan.
+func DefaultConfig() Config {
+	return Config{
+		RecursiveAddr: netip.MustParseAddr("10.99.0.2"),
+		MetaAddr:      netip.MustParseAddr("10.99.0.3"),
+		RecProxyAddr:  netip.MustParseAddr("10.99.0.4"),
+		AuthProxyAddr: netip.MustParseAddr("10.99.0.5"),
+		EDNSSize:      4096,
+	}
+}
+
+// Emulation is a running hierarchy emulation.
+type Emulation struct {
+	Net       *vnet.Network
+	Meta      *server.Server
+	Resolver  *resolver.Resolver
+	RecProxy  *proxy.Recursive
+	AuthProxy *proxy.Authoritative
+	cfg       Config
+	exch      *vnetExchanger
+}
+
+// New wires the full proxy + split-horizon emulation for a hierarchy.
+func New(h *zonegen.Hierarchy, cfg Config) (*Emulation, error) {
+	if !cfg.RecursiveAddr.IsValid() {
+		cfg = DefaultConfig()
+	}
+	net := vnet.New()
+
+	// Meta-DNS-server: one view per zone, keyed by the zone's nameserver
+	// public address — after proxy rewriting, the query source address IS
+	// the original query destination (OQDA), so matching on it selects
+	// the hierarchy level the query was aimed at.
+	meta := server.New(server.Config{})
+	for origin, z := range h.Zones {
+		v := server.NewView(string(origin), []netip.Addr{h.NSAddr[origin]}, nil)
+		if err := v.Zones.Add(z); err != nil {
+			return nil, err
+		}
+		meta.AddView(v)
+	}
+
+	em := &Emulation{Net: net, Meta: meta, cfg: cfg}
+
+	// Proxies.
+	em.RecProxy = &proxy.Recursive{Net: net, Meta: cfg.MetaAddr}
+	em.AuthProxy = &proxy.Authoritative{Net: net, Recursive: cfg.RecursiveAddr}
+	net.Attach(cfg.RecProxyAddr, em.RecProxy.Handle)
+	net.Attach(cfg.AuthProxyAddr, em.AuthProxy.Handle)
+
+	// TUN-style port routing (Fig 2): queries leaving the recursive are
+	// captured by the recursive proxy; replies leaving the meta server
+	// are captured by the authoritative proxy.
+	net.AddRule(vnet.Rule{
+		Name:  "recursive-queries-to-proxy",
+		Match: vnet.FromHost(cfg.RecursiveAddr, vnet.DstPort53),
+		To:    cfg.RecProxyAddr,
+	})
+	net.AddRule(vnet.Rule{
+		Name:  "meta-replies-to-proxy",
+		Match: vnet.FromHost(cfg.MetaAddr, vnet.SrcPort53),
+		To:    cfg.AuthProxyAddr,
+	})
+
+	// Meta server endpoint: answer each query and emit the reply with the
+	// meta server's own source address — the authoritative proxy fixes it
+	// up, exactly as in the paper.
+	net.Attach(cfg.MetaAddr, func(pkt vnet.Packet) {
+		var req dnsmsg.Msg
+		if err := req.Unpack(pkt.Payload); err != nil {
+			return
+		}
+		resp := meta.HandleQuery(pkt.Src.Addr(), &req, 0)
+		wire, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		_ = net.Send(vnet.Packet{
+			Src:     netip.AddrPortFrom(cfg.MetaAddr, 53),
+			Dst:     pkt.Src,
+			Payload: wire,
+		})
+	})
+
+	// Recursive host endpoint: match replies to outstanding exchanges.
+	em.exch = newVnetExchanger(net, cfg.RecursiveAddr)
+	net.Attach(cfg.RecursiveAddr, em.exch.handleReply)
+
+	res, err := resolver.New(resolver.Config{
+		Roots:    []netip.AddrPort{netip.AddrPortFrom(zonegen.RootAddr, 53)},
+		Exchange: em.exch,
+		Cache:    cfg.Cache,
+		EDNSSize: cfg.EDNSSize,
+		DO:       cfg.DO,
+		Tap:      cfg.Tap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em.Resolver = res
+	return em, nil
+}
+
+// Resolve runs one query through the emulated hierarchy.
+func (em *Emulation) Resolve(ctx context.Context, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Msg, error) {
+	return em.Resolver.Resolve(ctx, name, qtype)
+}
+
+// vnetExchanger implements resolver.Exchanger over the virtual network.
+// Each in-flight query holds a pseudo-ephemeral port; replies are matched
+// by that port. Channels are buffered because vnet delivery is
+// synchronous (the reply arrives inside Send).
+type vnetExchanger struct {
+	net  *vnet.Network
+	addr netip.Addr
+
+	mu       sync.Mutex
+	nextPort uint16
+	pending  map[uint16]chan []byte
+}
+
+func newVnetExchanger(n *vnet.Network, addr netip.Addr) *vnetExchanger {
+	return &vnetExchanger{net: n, addr: addr, nextPort: 20000, pending: make(map[uint16]chan []byte)}
+}
+
+func (x *vnetExchanger) Exchange(ctx context.Context, srv netip.AddrPort, q *dnsmsg.Msg) (*dnsmsg.Msg, error) {
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan []byte, 1)
+	x.mu.Lock()
+	x.nextPort++
+	if x.nextPort < 20000 {
+		x.nextPort = 20000
+	}
+	port := x.nextPort
+	x.pending[port] = ch
+	x.mu.Unlock()
+	defer func() {
+		x.mu.Lock()
+		delete(x.pending, port)
+		x.mu.Unlock()
+	}()
+
+	if err := x.net.Send(vnet.Packet{
+		Src:     netip.AddrPortFrom(x.addr, port),
+		Dst:     srv,
+		Payload: wire,
+	}); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		var m dnsmsg.Msg
+		if err := m.Unpack(resp); err != nil {
+			return nil, err
+		}
+		if m.ID != q.ID {
+			return nil, fmt.Errorf("hierarchy: reply ID %d does not match query %d", m.ID, q.ID)
+		}
+		return &m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (x *vnetExchanger) handleReply(pkt vnet.Packet) {
+	x.mu.Lock()
+	ch, ok := x.pending[pkt.Dst.Port()]
+	x.mu.Unlock()
+	if ok {
+		select {
+		case ch <- pkt.Payload:
+		default:
+		}
+	}
+}
+
+// NewDirect builds the no-proxy, no-split-horizon comparison the paper
+// uses to motivate the design (§2.4): the same server hosts every zone
+// in one view and is reachable at every nameserver address. A resolver
+// asking the "root" for www.example.com gets the final A record
+// immediately — optimizations short-circuit the hierarchy, which is
+// precisely the distortion the proxies exist to prevent.
+func NewDirect(h *zonegen.Hierarchy, cfg Config) (*Emulation, error) {
+	if !cfg.RecursiveAddr.IsValid() {
+		cfg = DefaultConfig()
+	}
+	net := vnet.New()
+	meta := server.New(server.Config{})
+	for _, z := range h.Zones {
+		if err := meta.AddZone(z); err != nil {
+			return nil, err
+		}
+	}
+	em := &Emulation{Net: net, Meta: meta, cfg: cfg}
+	handler := func(pkt vnet.Packet) {
+		var req dnsmsg.Msg
+		if err := req.Unpack(pkt.Payload); err != nil {
+			return
+		}
+		resp := meta.HandleQuery(pkt.Src.Addr(), &req, 0)
+		wire, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		_ = net.Send(vnet.Packet{Src: pkt.Dst, Dst: pkt.Src, Payload: wire})
+	}
+	// The one server answers at every authoritative address.
+	for _, addr := range h.NSAddr {
+		net.Attach(addr, handler)
+	}
+	em.exch = newVnetExchanger(net, cfg.RecursiveAddr)
+	net.Attach(cfg.RecursiveAddr, em.exch.handleReply)
+	res, err := resolver.New(resolver.Config{
+		Roots:    []netip.AddrPort{netip.AddrPortFrom(zonegen.RootAddr, 53)},
+		Exchange: em.exch,
+		Cache:    cfg.Cache,
+		EDNSSize: cfg.EDNSSize,
+		DO:       cfg.DO,
+		Tap:      cfg.Tap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em.Resolver = res
+	return em, nil
+}

@@ -1,0 +1,143 @@
+package hierarchy
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/replay"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+	"ldplayer/internal/zonegen"
+)
+
+// TestRecursiveReplayEndToEnd is the paper's flagship configuration
+// (Fig 1, left path): the distributed query engine replays a recursive
+// workload against a live recursive server over UDP, and the recursive
+// server resolves through the emulated hierarchy — proxies, split
+// horizon and all. Caching, referrals and timing all interact, which is
+// precisely what the paper argues only end-to-end replay can capture.
+func TestRecursiveReplayEndToEnd(t *testing.T) {
+	h, err := zonegen.Generate(zonegen.Config{
+		TLDs: []string{"com", "org"}, SLDsPerTLD: 3, HostsPerSLD: 3, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upstream atomic.Int64
+	cfg := DefaultConfig()
+	cfg.Tap = func(netip.AddrPort, *dnsmsg.Msg, *dnsmsg.Msg) { upstream.Add(1) }
+	em, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recursive server listens on loopback UDP.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go em.Resolver.ServeUDP(ctx, pc, 64)
+	target := pc.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// A Rec-17-model workload over the hierarchy's real SLDs.
+	tr := workload.RecModel(workload.RecConfig{
+		Duration: 2 * time.Second,
+		Queries:  300,
+		Clients:  20,
+		Zones:    h.SLDs,
+		Seed:     22,
+	})
+
+	eng, err := replay.New(replay.Config{
+		Server:                 netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), target.Port()),
+		QueriersPerDistributor: 2,
+		ResponseTimeout:        3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(ctx, &evReader{events: tr.Events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 300 {
+		t.Fatalf("sent=%d", rep.Sent)
+	}
+	if rep.Responses < rep.Sent*95/100 {
+		t.Fatalf("responses=%d of %d", rep.Responses, rep.Sent)
+	}
+
+	// Caching must have collapsed upstream traffic: 300 stub queries over
+	// ~6 zones × a few hosts require far fewer hierarchy walks than
+	// 3 × 300. (Cold cache upper bound: ~3 per unique name.)
+	ups := upstream.Load()
+	if ups >= 3*300/2 {
+		t.Errorf("upstream exchanges=%d: cache not effective", ups)
+	}
+	if ups == 0 {
+		t.Error("no upstream exchanges: resolver never walked the hierarchy")
+	}
+	t.Logf("stub queries=%d responses=%d upstream exchanges=%d", rep.Sent, rep.Responses, ups)
+}
+
+// TestHandleStubSemantics checks the stub-facing header handling.
+func TestHandleStubSemantics(t *testing.T) {
+	h, err := zonegen.Generate(zonegen.Config{TLDs: []string{"com"}, SLDsPerTLD: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := New(h, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q dnsmsg.Msg
+	q.ID = 321
+	q.RecursionDesired = true
+	q.SetQuestion(dnsmsg.MustParseName("www."+string(h.SLDs[0])), dnsmsg.TypeA)
+	q.SetEDNS(1232, true)
+	resp := em.Resolver.HandleStub(context.Background(), &q)
+	if resp.ID != 321 || !resp.Response || !resp.RecursionAvailable {
+		t.Errorf("header: %+v", resp)
+	}
+	if resp.Rcode != dnsmsg.RcodeSuccess || len(resp.Answer) == 0 {
+		t.Errorf("resolution: rcode=%v answers=%d", resp.Rcode, len(resp.Answer))
+	}
+	if _, _, ok := resp.EDNS(); !ok {
+		t.Error("EDNS not mirrored")
+	}
+	// Unsupported opcode.
+	bad := q.Copy()
+	bad.Opcode = dnsmsg.OpcodeUpdate
+	if resp := em.Resolver.HandleStub(context.Background(), bad); resp.Rcode != dnsmsg.RcodeNotImpl {
+		t.Errorf("update opcode rcode=%v", resp.Rcode)
+	}
+	// Unresolvable name (no such TLD anywhere) -> NXDOMAIN via the root.
+	var nx dnsmsg.Msg
+	nx.SetQuestion("host.invalid-tld.", dnsmsg.TypeA)
+	if resp := em.Resolver.HandleStub(context.Background(), &nx); resp.Rcode != dnsmsg.RcodeNXDomain {
+		t.Errorf("nx rcode=%v", resp.Rcode)
+	}
+}
+
+type evReader struct {
+	events []*trace.Event
+	i      int
+}
+
+func (s *evReader) Read() (*trace.Event, error) {
+	if s.i >= len(s.events) {
+		return nil, io.EOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, nil
+}

@@ -1,0 +1,218 @@
+// Package metrics provides the statistics the evaluation figures report:
+// quartile/percentile summaries (Figs 6, 10, 11, 15), empirical CDFs
+// (Figs 7, 8, 15c), and per-second rate and resource time series
+// (Figs 9, 13, 14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary is a five-number-plus summary of a sample.
+type Summary struct {
+	N                      int
+	Min, Max, Mean         float64
+	P5, P25, P50, P75, P95 float64
+}
+
+// Summarize computes a Summary; the input is not modified.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if len(values) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P5 = Percentile(sorted, 0.05)
+	s.P25 = Percentile(sorted, 0.25)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P75 = Percentile(sorted, 0.75)
+	s.P95 = Percentile(sorted, 0.95)
+	return s
+}
+
+// String renders the summary the way the figures caption it.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p5=%.3g p25=%.3g median=%.3g p75=%.3g p95=%.3g max=%.3g",
+		s.N, s.Min, s.P5, s.P25, s.P50, s.P75, s.P95, s.Max)
+}
+
+// Percentile interpolates the p-quantile (0..1) of an already-sorted
+// sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// SummarizeDurations is Summarize over time.Durations in seconds.
+func SummarizeDurations(ds []time.Duration) Summary {
+	vs := make([]float64, len(ds))
+	for i, d := range ds {
+		vs[i] = d.Seconds()
+	}
+	return Summarize(vs)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // fraction of samples <= X
+}
+
+// CDF computes an empirical CDF downsampled to at most maxPoints points
+// (plotting tens of millions of samples needs no more).
+func CDF(values []float64, maxPoints int) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	if maxPoints <= 1 {
+		maxPoints = 100
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	step := n / maxPoints
+	if step < 1 {
+		step = 1
+	}
+	var out []CDFPoint
+	for i := 0; i < n; i += step {
+		out = append(out, CDFPoint{X: sorted[i], P: float64(i+1) / float64(n)})
+	}
+	if last := sorted[n-1]; len(out) == 0 || out[len(out)-1].X != last {
+		out = append(out, CDFPoint{X: last, P: 1})
+	}
+	return out
+}
+
+// CDFValueAt returns the fraction of samples <= x.
+func CDFValueAt(values []float64, x float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	i := sort.SearchFloat64s(sorted, x)
+	for i < len(sorted) && sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(sorted))
+}
+
+// RateSeries counts events into fixed windows — the per-second query
+// rates of Figs 8 and 9.
+type RateSeries struct {
+	Window time.Duration
+	Counts []int
+}
+
+// NewRateSeries bins event offsets (relative to series start) by window.
+func NewRateSeries(offsets []time.Duration, window time.Duration) *RateSeries {
+	rs := &RateSeries{Window: window}
+	for _, off := range offsets {
+		if off < 0 {
+			continue
+		}
+		idx := int(off / window)
+		for len(rs.Counts) <= idx {
+			rs.Counts = append(rs.Counts, 0)
+		}
+		rs.Counts[idx]++
+	}
+	return rs
+}
+
+// Rates returns the per-window rates in events/second.
+func (rs *RateSeries) Rates() []float64 {
+	out := make([]float64, len(rs.Counts))
+	for i, c := range rs.Counts {
+		out[i] = float64(c) / rs.Window.Seconds()
+	}
+	return out
+}
+
+// RelativeDifference compares two rate series per window: (b-a)/a,
+// skipping empty windows — Fig 8's per-second rate difference.
+func RelativeDifference(a, b *RateSeries) []float64 {
+	n := len(a.Counts)
+	if len(b.Counts) < n {
+		n = len(b.Counts)
+	}
+	var out []float64
+	for i := 0; i < n; i++ {
+		if a.Counts[i] == 0 {
+			continue
+		}
+		out = append(out, float64(b.Counts[i]-a.Counts[i])/float64(a.Counts[i]))
+	}
+	return out
+}
+
+// TimeSeries is a resource-over-time sample set (Figs 13/14 memory and
+// connection curves).
+type TimeSeries struct {
+	Times  []time.Duration
+	Values []float64
+}
+
+// Add appends a sample.
+func (ts *TimeSeries) Add(at time.Duration, v float64) {
+	ts.Times = append(ts.Times, at)
+	ts.Values = append(ts.Values, v)
+}
+
+// Last returns the final value, or 0 when empty.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	return ts.Values[len(ts.Values)-1]
+}
+
+// SteadyState summarizes the series after skipping the warm-up prefix
+// (the paper discards the first ~5 minutes of each run).
+func (ts *TimeSeries) SteadyState(after time.Duration) Summary {
+	var vals []float64
+	for i, at := range ts.Times {
+		if at >= after {
+			vals = append(vals, ts.Values[i])
+		}
+	}
+	return Summarize(vals)
+}
+
+// InterArrivals converts a sorted offset sequence into gaps.
+func InterArrivals(offsets []time.Duration) []float64 {
+	if len(offsets) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(offsets)-1)
+	for i := 1; i < len(offsets); i++ {
+		out = append(out, (offsets[i] - offsets[i-1]).Seconds())
+	}
+	return out
+}

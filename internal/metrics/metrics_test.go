@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 || s.Mean != 3 {
+		t.Errorf("summary=%+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty=%+v", empty)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 0.5); got != 5 {
+		t.Errorf("p50=%v", got)
+	}
+	if got := Percentile(sorted, 0); got != 0 {
+		t.Errorf("p0=%v", got)
+	}
+	if got := Percentile(sorted, 1); got != 10 {
+		t.Errorf("p100=%v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile not NaN")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P5 && s.P5 <= s.P25 && s.P25 <= s.P50 &&
+			s.P50 <= s.P75 && s.P75 <= s.P95 && s.P95 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	pts := CDF(vals, 10)
+	if len(pts) < 10 || len(pts) > 12 {
+		t.Errorf("points=%d", len(pts))
+	}
+	// Monotone nondecreasing in both coordinates, ending at P=1.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].P < pts[i-1].P {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Errorf("final P=%v", pts[len(pts)-1].P)
+	}
+	if CDF(nil, 10) != nil {
+		t.Error("empty CDF not nil")
+	}
+}
+
+func TestCDFValueAt(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	if got := CDFValueAt(vals, 2); got != 0.5 {
+		t.Errorf("P(x<=2)=%v", got)
+	}
+	if got := CDFValueAt(vals, 0); got != 0 {
+		t.Errorf("P(x<=0)=%v", got)
+	}
+	if got := CDFValueAt(vals, 9); got != 1 {
+		t.Errorf("P(x<=9)=%v", got)
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	var offsets []time.Duration
+	// 3 events in second 0, 1 in second 2, none in second 1.
+	offsets = append(offsets, 0, 100*time.Millisecond, 900*time.Millisecond, 2500*time.Millisecond)
+	rs := NewRateSeries(offsets, time.Second)
+	if len(rs.Counts) != 3 || rs.Counts[0] != 3 || rs.Counts[1] != 0 || rs.Counts[2] != 1 {
+		t.Errorf("counts=%v", rs.Counts)
+	}
+	rates := rs.Rates()
+	if rates[0] != 3 {
+		t.Errorf("rates=%v", rates)
+	}
+}
+
+func TestRelativeDifference(t *testing.T) {
+	a := &RateSeries{Window: time.Second, Counts: []int{100, 200, 0, 50}}
+	b := &RateSeries{Window: time.Second, Counts: []int{101, 198, 7, 50}}
+	diff := RelativeDifference(a, b)
+	// The zero-count window is skipped.
+	if len(diff) != 3 {
+		t.Fatalf("diff=%v", diff)
+	}
+	if math.Abs(diff[0]-0.01) > 1e-9 || math.Abs(diff[1]+0.01) > 1e-9 || diff[2] != 0 {
+		t.Errorf("diff=%v", diff)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	for i := 0; i < 10; i++ {
+		v := 100.0
+		if i < 3 {
+			v = float64(i) * 30 // warm-up ramp
+		}
+		ts.Add(time.Duration(i)*time.Minute, v)
+	}
+	if ts.Last() != 100 {
+		t.Errorf("last=%v", ts.Last())
+	}
+	ss := ts.SteadyState(5 * time.Minute)
+	if ss.Min != 100 || ss.Max != 100 {
+		t.Errorf("steady state=%+v", ss)
+	}
+}
+
+func TestInterArrivals(t *testing.T) {
+	got := InterArrivals([]time.Duration{0, time.Second, 3 * time.Second})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("gaps=%v", got)
+	}
+	if InterArrivals([]time.Duration{time.Second}) != nil {
+		t.Error("single-point gaps not nil")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if s := Summarize([]float64{1}).String(); s == "" {
+		t.Error("empty String")
+	}
+}

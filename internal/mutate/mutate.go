@@ -1,0 +1,274 @@
+// Package mutate implements LDplayer's query mutator (§2.5): streaming
+// transformations over trace events that turn one captured trace into the
+// many what-if variants the experiments replay — all-TCP, all-TLS,
+// all-DNSSEC, renamed queries, filtered subsets. Mutators compose into
+// chains and wrap any trace.Reader, so mutation runs live with replay
+// (no intermediate files) or offline ahead of it.
+package mutate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/trace"
+)
+
+// Mutator transforms one event. Returning (nil, nil) drops the event.
+// Implementations may modify the event in place and return it.
+type Mutator interface {
+	Mutate(e *trace.Event) (*trace.Event, error)
+}
+
+// Func adapts a function to Mutator.
+type Func func(e *trace.Event) (*trace.Event, error)
+
+// Mutate implements Mutator.
+func (f Func) Mutate(e *trace.Event) (*trace.Event, error) { return f(e) }
+
+// Chain applies mutators in order, stopping at the first drop or error.
+type Chain []Mutator
+
+// Mutate implements Mutator.
+func (c Chain) Mutate(e *trace.Event) (*trace.Event, error) {
+	var err error
+	for _, m := range c {
+		e, err = m.Mutate(e)
+		if e == nil || err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Reader wraps a trace.Reader, applying a mutator to every event and
+// skipping drops — the "live with query replay" mode of Fig 3.
+type Reader struct {
+	src trace.Reader
+	m   Mutator
+}
+
+// NewReader builds the wrapping reader.
+func NewReader(src trace.Reader, m Mutator) *Reader { return &Reader{src: src, m: m} }
+
+// Read implements trace.Reader.
+func (r *Reader) Read() (*trace.Event, error) {
+	for {
+		e, err := r.src.Read()
+		if err != nil {
+			return nil, err
+		}
+		out, err := r.m.Mutate(e)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+	}
+}
+
+// Apply runs a mutator over a whole in-memory trace.
+func Apply(t *trace.Trace, m Mutator) (*trace.Trace, error) {
+	out := &trace.Trace{Events: make([]*trace.Event, 0, len(t.Events))}
+	for _, e := range t.Events {
+		ne, err := m.Mutate(e.Clone())
+		if err != nil {
+			return nil, err
+		}
+		if ne != nil {
+			out.Events = append(out.Events, ne)
+		}
+	}
+	return out, nil
+}
+
+// QueriesOnly drops responses, keeping the replayable half of a capture.
+func QueriesOnly() Mutator {
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		if !e.IsQuery() {
+			return nil, nil
+		}
+		return e, nil
+	})
+}
+
+// ForceProtocol rewrites every event's transport — the paper's "what if
+// all queries were TCP/TLS" switch.
+func ForceProtocol(p trace.Proto) Mutator {
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		e.Proto = p
+		return e, nil
+	})
+}
+
+// ProtocolMix assigns TCP to a deterministic fraction of source hosts
+// and UDP to the rest, reproducing traces like B-Root's 3% TCP share.
+// Assignment is per source address, as protocol choice is in reality.
+func ProtocolMix(tcpFraction float64) Mutator {
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		if hashFraction(e.Src.Addr().String()) < tcpFraction {
+			e.Proto = trace.TCP
+		} else {
+			e.Proto = trace.UDP
+		}
+		return e, nil
+	})
+}
+
+// SetDO rewrites the EDNS DO bit on a deterministic fraction of queries
+// (1.0 = the paper's "all queries with DO"). Queries selected for DO get
+// EDNS added when missing; others keep their EDNS but with DO cleared.
+func SetDO(fraction float64, udpSize uint16) Mutator {
+	var counter uint64
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		if !e.IsQuery() {
+			return e, nil
+		}
+		m, err := e.Msg()
+		if err != nil {
+			return nil, fmt.Errorf("mutate: SetDO: %w", err)
+		}
+		counter++
+		want := hashFraction(fmt.Sprintf("%d/%s", counter, e.Src)) < fraction
+		size, _, had := m.EDNS()
+		switch {
+		case want:
+			if !had || size == 0 {
+				size = udpSize
+			}
+			m.SetEDNS(size, true)
+		case had:
+			m.SetEDNS(size, false)
+		default:
+			return e, nil
+		}
+		return repack(e, m)
+	})
+}
+
+// PrefixQNames prepends a label built from prefix and a running counter
+// to every query name — the paper's unique-name tagging that lets the
+// evaluation match each replayed query to its original (§4.2).
+func PrefixQNames(prefix string) Mutator {
+	var counter uint64
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		if !e.IsQuery() {
+			return e, nil
+		}
+		m, err := e.Msg()
+		if err != nil || len(m.Question) == 0 {
+			return e, err
+		}
+		counter++
+		label := fmt.Sprintf("%s%d", prefix, counter)
+		if len(label) > 63 {
+			return nil, fmt.Errorf("mutate: prefix label %q too long", label)
+		}
+		name, err := dnsmsg.ParseName(label + "." + string(m.Question[0].Name))
+		if err != nil {
+			// The prefixed name exceeds limits; leave the query untouched
+			// rather than breaking the replay.
+			return e, nil
+		}
+		m.Question[0].Name = name
+		return repack(e, m)
+	})
+}
+
+// RenameQueries maps every query name through fn (arbitrary editing).
+func RenameQueries(fn func(dnsmsg.Name) dnsmsg.Name) Mutator {
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		if !e.IsQuery() {
+			return e, nil
+		}
+		m, err := e.Msg()
+		if err != nil || len(m.Question) == 0 {
+			return e, err
+		}
+		m.Question[0].Name = fn(m.Question[0].Name)
+		return repack(e, m)
+	})
+}
+
+// FilterQType keeps only queries whose type passes keep.
+func FilterQType(keep func(dnsmsg.Type) bool) Mutator {
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		if !e.IsQuery() {
+			return e, nil
+		}
+		m, err := e.Msg()
+		if err != nil || len(m.Question) == 0 {
+			return e, err
+		}
+		if !keep(m.Question[0].Type) {
+			return nil, nil
+		}
+		return e, nil
+	})
+}
+
+// ScaleTime compresses or stretches the trace timeline around its first
+// event (factor 0.5 replays twice as fast). Useful for running hour-long
+// workloads in minutes while preserving the rate pattern.
+func ScaleTime(factor float64) Mutator {
+	var haveBase bool
+	var base int64
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		ns := e.Time.UnixNano()
+		if !haveBase {
+			base = ns
+			haveBase = true
+		}
+		scaled := base + int64(float64(ns-base)*factor)
+		e.Time = unixNano(scaled)
+		return e, nil
+	})
+}
+
+// SetEDNSSize rewrites the advertised EDNS buffer size on queries that
+// carry EDNS (key-size experiments pair this with SetDO).
+func SetEDNSSize(size uint16) Mutator {
+	return Func(func(e *trace.Event) (*trace.Event, error) {
+		if !e.IsQuery() {
+			return e, nil
+		}
+		m, err := e.Msg()
+		if err != nil {
+			return e, nil
+		}
+		if _, do, ok := m.EDNS(); ok {
+			m.SetEDNS(size, do)
+			return repack(e, m)
+		}
+		return e, nil
+	})
+}
+
+func repack(e *trace.Event, m *dnsmsg.Msg) (*trace.Event, error) {
+	wire, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	e.Wire = wire
+	return e, nil
+}
+
+// hashFraction maps a string to [0,1) deterministically. FNV alone mixes
+// poorly over near-identical strings (sequential IPs), so a splitmix64
+// finalizer spreads the bits.
+func hashFraction(s string) float64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+func unixNano(ns int64) time.Time { return time.Unix(0, ns) }

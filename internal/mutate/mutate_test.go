@@ -1,0 +1,242 @@
+package mutate
+
+import (
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/trace"
+)
+
+func qEvent(t testing.TB, name dnsmsg.Name, src string, at time.Time) *trace.Event {
+	t.Helper()
+	var m dnsmsg.Msg
+	m.ID = 5
+	m.SetQuestion(name, dnsmsg.TypeA)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &trace.Event{
+		Time: at, Src: netip.MustParseAddrPort(src),
+		Dst: netip.MustParseAddrPort("198.41.0.4:53"), Proto: trace.UDP, Wire: wire,
+	}
+}
+
+func rEvent(t testing.TB, name dnsmsg.Name) *trace.Event {
+	t.Helper()
+	e := qEvent(t, name, "192.0.2.1:4000", time.Unix(1, 0))
+	m, _ := e.Msg()
+	var resp dnsmsg.Msg
+	resp.SetReply(m)
+	wire, _ := resp.Pack()
+	e.Wire = wire
+	return e
+}
+
+func sample(t testing.TB, n int) *trace.Trace {
+	tr := &trace.Trace{}
+	base := time.Unix(1000, 0)
+	for i := 0; i < n; i++ {
+		src := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		tr.Events = append(tr.Events, qEvent(t, "example.com.",
+			netip.AddrPortFrom(src, 5000).String(), base.Add(time.Duration(i)*time.Millisecond)))
+	}
+	return tr
+}
+
+func TestQueriesOnly(t *testing.T) {
+	tr := &trace.Trace{Events: []*trace.Event{
+		qEvent(t, "a.test.", "10.0.0.1:1", time.Unix(1, 0)),
+		rEvent(t, "a.test."),
+	}}
+	out, err := Apply(tr, QueriesOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) != 1 || !out.Events[0].IsQuery() {
+		t.Fatalf("events=%d", len(out.Events))
+	}
+}
+
+func TestForceProtocol(t *testing.T) {
+	out, err := Apply(sample(t, 10), ForceProtocol(trace.TLS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.Events {
+		if e.Proto != trace.TLS {
+			t.Fatal("protocol not forced")
+		}
+	}
+}
+
+func TestProtocolMixFractionAndDeterminism(t *testing.T) {
+	tr := sample(t, 2000)
+	out1, _ := Apply(tr, ProtocolMix(0.03))
+	out2, _ := Apply(tr, ProtocolMix(0.03))
+	tcp := 0
+	for i, e := range out1.Events {
+		if e.Proto != out2.Events[i].Proto {
+			t.Fatal("ProtocolMix not deterministic")
+		}
+		if e.Proto == trace.TCP {
+			tcp++
+		}
+	}
+	frac := float64(tcp) / float64(len(out1.Events))
+	if frac < 0.01 || frac > 0.06 {
+		t.Errorf("TCP fraction=%.3f want ~0.03", frac)
+	}
+}
+
+func TestSetDOAllAndFraction(t *testing.T) {
+	out, err := Apply(sample(t, 200), SetDO(1.0, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.Events {
+		m, _ := e.Msg()
+		if size, do, ok := m.EDNS(); !ok || !do || size != 4096 {
+			t.Fatalf("DO not set: %v %v %v", size, do, ok)
+		}
+	}
+	out, err = Apply(sample(t, 2000), SetDO(0.723, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := 0
+	for _, e := range out.Events {
+		m, _ := e.Msg()
+		if _, d, ok := m.EDNS(); ok && d {
+			do++
+		}
+	}
+	frac := float64(do) / float64(len(out.Events))
+	if frac < 0.68 || frac > 0.77 {
+		t.Errorf("DO fraction=%.3f want ~0.723", frac)
+	}
+}
+
+func TestPrefixQNames(t *testing.T) {
+	out, err := Apply(sample(t, 3), PrefixQNames("ldp-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[dnsmsg.Name]bool{}
+	for _, e := range out.Events {
+		m, _ := e.Msg()
+		name := m.Question[0].Name
+		if !strings.HasPrefix(string(name), "ldp-") || !name.IsSubdomainOf("example.com.") {
+			t.Errorf("name=%q", name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate prefixed name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestRenameAndFilter(t *testing.T) {
+	tr := &trace.Trace{Events: []*trace.Event{
+		qEvent(t, "a.test.", "10.0.0.1:1", time.Unix(1, 0)),
+	}}
+	out, err := Apply(tr, RenameQueries(func(n dnsmsg.Name) dnsmsg.Name { return "b.test." }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := out.Events[0].Msg()
+	if m.Question[0].Name != "b.test." {
+		t.Errorf("rename failed: %q", m.Question[0].Name)
+	}
+	out, err = Apply(tr, FilterQType(func(typ dnsmsg.Type) bool { return typ == dnsmsg.TypeMX }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) != 0 {
+		t.Error("filter kept non-matching query")
+	}
+}
+
+func TestScaleTime(t *testing.T) {
+	tr := sample(t, 3) // events at +0ms, +1ms, +2ms
+	out, err := Apply(tr, ScaleTime(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := out.Events[2].Time.Sub(out.Events[0].Time)
+	if d != time.Millisecond {
+		t.Errorf("scaled span=%v want 1ms", d)
+	}
+	if !out.Events[0].Time.Equal(tr.Events[0].Time) {
+		t.Error("base time moved")
+	}
+}
+
+func TestChainAndStreamingReader(t *testing.T) {
+	tr := &trace.Trace{Events: []*trace.Event{
+		qEvent(t, "a.test.", "10.0.0.1:1", time.Unix(1, 0)),
+		rEvent(t, "a.test."),
+		qEvent(t, "b.test.", "10.0.0.2:1", time.Unix(2, 0)),
+	}}
+	chain := Chain{QueriesOnly(), ForceProtocol(trace.TCP), SetDO(1.0, 1232)}
+	r := NewReader(&sliceReader{events: tr.Events}, chain)
+	got, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("events=%d", len(got.Events))
+	}
+	for _, e := range got.Events {
+		if e.Proto != trace.TCP {
+			t.Error("chain did not force TCP")
+		}
+		m, _ := e.Msg()
+		if _, do, ok := m.EDNS(); !ok || !do {
+			t.Error("chain did not set DO")
+		}
+	}
+}
+
+func TestSetEDNSSize(t *testing.T) {
+	tr, _ := Apply(sample(t, 1), SetDO(1.0, 4096))
+	out, err := Apply(tr, SetEDNSSize(1232))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := out.Events[0].Msg()
+	if size, do, ok := m.EDNS(); !ok || size != 1232 || !do {
+		t.Errorf("EDNS=(%d,%v,%v)", size, do, ok)
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	tr := sample(t, 1)
+	origWire := append([]byte(nil), tr.Events[0].Wire...)
+	if _, err := Apply(tr, PrefixQNames("x-")); err != nil {
+		t.Fatal(err)
+	}
+	if string(tr.Events[0].Wire) != string(origWire) {
+		t.Error("Apply mutated the input trace")
+	}
+}
+
+type sliceReader struct {
+	events []*trace.Event
+	i      int
+}
+
+func (s *sliceReader) Read() (*trace.Event, error) {
+	if s.i >= len(s.events) {
+		return nil, errEOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e.Clone(), nil
+}
+
+var errEOF = io.EOF

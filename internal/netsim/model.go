@@ -1,0 +1,284 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// Costs is the per-operation CPU model, in CPU time per operation. The
+// defaults reproduce the paper's Fig 11 shape: the original mostly-UDP
+// mix costs the most (~10% median on 48 cores), all-TCP costs about half
+// (the paper attributes the saving to NIC TCP offload — segmentation and
+// checksum work the kernel does for UDP but the NIC does for TCP), and
+// all-TLS sits near the UDP mix with a visible handshake penalty at
+// short timeouts.
+type Costs struct {
+	UDPQuery     time.Duration // full userspace+kernel cost per UDP query
+	TCPQuery     time.Duration // per query on an open connection (offloaded NIC path)
+	TCPHandshake time.Duration // accept + 3-way handshake bookkeeping
+	TCPClose     time.Duration // close + TIME_WAIT transition
+	TLSQuery     time.Duration // per record on an open TLS connection
+	TLSHandshake time.Duration // key exchange + session setup
+}
+
+// DefaultCosts is calibrated to Fig 11 (see package comment).
+func DefaultCosts() Costs {
+	// Back-derived from Fig 11 at B-Root scale (39 kq/s on 48 cores):
+	// ~10% CPU for the 97%-UDP mix implies ~120 µs per UDP query through
+	// kernel+userspace; ~5% for all-TCP implies ~60 µs on the offloaded
+	// path; all-TLS at 9-10% implies ~60 µs per record plus ~1.2 ms per
+	// handshake at the observed ~2 k handshakes/s.
+	return Costs{
+		UDPQuery:     120 * time.Microsecond,
+		TCPQuery:     60 * time.Microsecond,
+		TCPHandshake: 25 * time.Microsecond,
+		TCPClose:     5 * time.Microsecond,
+		TLSQuery:     60 * time.Microsecond,
+		TLSHandshake: 1200 * time.Microsecond,
+	}
+}
+
+// Memory is the per-connection memory model. Defaults are calibrated to
+// Fig 13/14: ~2 GB baseline for UDP-dominated service, ~15 GB with all
+// traffic on TCP at a 20 s timeout (~60 k established connections), and
+// ~18 GB for TLS (+~30%, the session state).
+type Memory struct {
+	Base           uint64 // process + zone data baseline
+	PerEstablished uint64 // kernel socket buffers per live connection
+	PerTimeWait    uint64 // a TIME_WAIT socket is just a control block
+	PerTLSSession  uint64 // TLS adds session/crypto state per connection
+}
+
+// DefaultMemory returns the Fig 13/14 calibration.
+func DefaultMemory() Memory {
+	return Memory{
+		Base:           2 << 30, // 2 GB: the paper's UDP baseline
+		PerEstablished: 216 << 10,
+		PerTimeWait:    512,
+		PerTLSSession:  50 << 10,
+	}
+}
+
+// ServerConfig parameterizes the simulated server host.
+type ServerConfig struct {
+	// IdleTimeout closes idle TCP/TLS connections (the paper sweeps
+	// 5–40 s).
+	IdleTimeout time.Duration
+	// TimeWait is how long a closed connection lingers in TIME_WAIT
+	// (Linux: 60 s).
+	TimeWait time.Duration
+	// Cores scales CPU percentage (the paper's server has 48 threads).
+	Cores int
+	// Costs and Mem default to the calibrated models when zero.
+	Costs Costs
+	Mem   Memory
+	// Responder produces the response size for a query event. Experiments
+	// pass a closure over a real server.Server so sizes are real; nil
+	// means a constant 100 bytes.
+	Responder func(ev *trace.Event) (respBytes int)
+	// NagleTailProb adds occasional reassembly/Nagle stalls on stream
+	// responses (an extra RTT), reproducing the latency tail the paper
+	// found and models missed. Probability per stream query.
+	NagleTailProb float64
+	// Seed drives the jitter; fixed for reproducibility.
+	Seed int64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 20 * time.Second
+	}
+	if c.TimeWait <= 0 {
+		c.TimeWait = 60 * time.Second
+	}
+	if c.Cores <= 0 {
+		c.Cores = 48
+	}
+	if c.Costs == (Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.Mem == (Memory{}) {
+		c.Mem = DefaultMemory()
+	}
+	if c.NagleTailProb == 0 {
+		c.NagleTailProb = 0.12
+	}
+	return c
+}
+
+// connState models one client connection on the server.
+type connState struct {
+	tls     bool
+	lastUse time.Duration
+	closeAt time.Duration // when the pending idle check fires
+	open    bool
+}
+
+// Server is the simulated server host: connection table, resource
+// accounting and CPU meter.
+type Server struct {
+	sim *Sim
+	cfg ServerConfig
+	rng *rand.Rand
+
+	conns       map[netip.Addr]*connState
+	established int
+	timeWait    int
+
+	cpuBusy    time.Duration
+	bytesOut   uint64
+	queries    uint64
+	handshakes uint64
+}
+
+// NewServer attaches a simulated server to sim.
+func NewServer(sim *Sim, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		sim:   sim,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		conns: make(map[netip.Addr]*connState),
+	}
+}
+
+// Query simulates one query from a client at the given RTT, returning
+// the client-observed latency. Scheduling of server-side accounting
+// happens on the sim's virtual clock; the caller invokes Query at the
+// query's trace time.
+func (s *Server) Query(ev *trace.Event, rtt time.Duration) (latency time.Duration) {
+	respBytes := 100
+	if s.cfg.Responder != nil {
+		respBytes = s.cfg.Responder(ev)
+	}
+	s.queries++
+	s.bytesOut += uint64(respBytes)
+
+	switch ev.Proto {
+	case trace.UDP:
+		s.cpu(s.cfg.Costs.UDPQuery)
+		return rtt
+	case trace.TCP, trace.TLS:
+		isTLS := ev.Proto == trace.TLS
+		st := s.conns[ev.Src.Addr()]
+		fresh := st == nil || !st.open
+		if fresh {
+			if st == nil {
+				st = &connState{}
+				s.conns[ev.Src.Addr()] = st
+			}
+			st.open = true
+			st.tls = isTLS
+			s.established++
+			s.handshakes++
+			s.cpu(s.cfg.Costs.TCPHandshake)
+			latency = 2 * rtt // SYN/SYN-ACK then query/response
+			if isTLS {
+				s.cpu(s.cfg.Costs.TLSHandshake)
+				latency = 4 * rtt // + TLS 1.2 key exchange
+			}
+		} else {
+			latency = rtt
+		}
+		if isTLS {
+			s.cpu(s.cfg.Costs.TLSQuery)
+		} else {
+			s.cpu(s.cfg.Costs.TCPQuery)
+		}
+		// Occasional segmentation/Nagle stall on stream responses: the
+		// latency tail the paper discovered in experiment (Fig 15b).
+		if s.rng.Float64() < s.cfg.NagleTailProb {
+			latency += rtt + time.Duration(s.rng.Int63n(int64(40*time.Millisecond)))
+		}
+		st.lastUse = s.sim.Now()
+		s.armIdleClose(ev.Src.Addr(), st)
+		return latency
+	}
+	return rtt
+}
+
+// armIdleClose schedules (or reschedules) the idle-timeout check.
+func (s *Server) armIdleClose(addr netip.Addr, st *connState) {
+	fireAt := st.lastUse + s.cfg.IdleTimeout
+	if st.closeAt >= fireAt && st.closeAt > s.sim.Now() {
+		return // an adequate check is already pending
+	}
+	st.closeAt = fireAt
+	s.sim.At(fireAt, func() { s.idleCheck(addr, st) })
+}
+
+func (s *Server) idleCheck(addr netip.Addr, st *connState) {
+	if !st.open {
+		return
+	}
+	if s.sim.Now() < st.lastUse+s.cfg.IdleTimeout {
+		due := st.lastUse + s.cfg.IdleTimeout
+		st.closeAt = due
+		s.sim.At(due, func() { s.idleCheck(addr, st) })
+		return
+	}
+	s.closeConn(st)
+}
+
+// closeConn moves a connection to TIME_WAIT (the server closes first, so
+// the server holds the TIME_WAIT socket, as netstat showed the paper).
+func (s *Server) closeConn(st *connState) {
+	st.open = false
+	s.established--
+	s.cpu(s.cfg.Costs.TCPClose)
+	s.timeWait++
+	s.sim.After(s.cfg.TimeWait, func() { s.timeWait-- })
+}
+
+func (s *Server) cpu(d time.Duration) { s.cpuBusy += d }
+
+// Established returns the current live connection count.
+func (s *Server) Established() int { return s.established }
+
+// TimeWait returns the current TIME_WAIT socket count.
+func (s *Server) TimeWait() int { return s.timeWait }
+
+// MemoryBytes evaluates the memory model at the current instant.
+func (s *Server) MemoryBytes() uint64 {
+	m := s.cfg.Mem.Base
+	m += uint64(s.established) * s.cfg.Mem.PerEstablished
+	m += uint64(s.timeWait) * s.cfg.Mem.PerTimeWait
+	if s.tlsShare() {
+		m += uint64(s.established) * s.cfg.Mem.PerTLSSession
+	}
+	return m
+}
+
+// tlsShare reports whether the connection table is TLS-dominated (the
+// per-session memory applies).
+func (s *Server) tlsShare() bool {
+	tls, total := 0, 0
+	for _, st := range s.conns {
+		if !st.open {
+			continue
+		}
+		total++
+		if st.tls {
+			tls++
+		}
+	}
+	return total > 0 && tls*2 > total
+}
+
+// CPUPercent reports mean CPU utilization across the host's cores over
+// the elapsed virtual time.
+func (s *Server) CPUPercent() float64 {
+	if s.sim.Now() <= 0 {
+		return 0
+	}
+	return 100 * s.cpuBusy.Seconds() / (s.sim.Now().Seconds() * float64(s.cfg.Cores))
+}
+
+// BytesOut returns cumulative response bytes.
+func (s *Server) BytesOut() uint64 { return s.bytesOut }
+
+// Handshakes returns how many TCP/TLS handshakes the server performed.
+func (s *Server) Handshakes() uint64 { return s.handshakes }

@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	// Same-time events run FIFO.
+	s.At(2*time.Second, func() { order = append(order, 20) })
+	s.Run(0)
+	if len(order) != 4 || order[0] != 1 || order[1] != 2 || order[2] != 20 || order[3] != 3 {
+		t.Errorf("order=%v", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("now=%v", s.Now())
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := New()
+	hits := 0
+	var tick func()
+	tick = func() {
+		hits++
+		if hits < 5 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(time.Second, tick)
+	s.Run(0)
+	if hits != 5 || s.Now() != 5*time.Second {
+		t.Errorf("hits=%d now=%v", hits, s.Now())
+	}
+	// Bounded run stops at the bound.
+	s2 := New()
+	s2.At(10*time.Second, func() { t.Error("event past bound executed") })
+	s2.Run(5 * time.Second)
+	if s2.Now() != 5*time.Second || s2.Pending() != 1 {
+		t.Errorf("now=%v pending=%d", s2.Now(), s2.Pending())
+	}
+}
+
+func mkEvent(src string, proto trace.Proto, at time.Duration) *trace.Event {
+	return &trace.Event{
+		Time:  workload.DefaultStart.Add(at),
+		Src:   netip.MustParseAddrPort(src),
+		Dst:   workload.ServerAddr,
+		Proto: proto,
+		Wire:  []byte{0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // minimal header, QR=0
+	}
+}
+
+func TestUDPLatencyIsOneRTT(t *testing.T) {
+	sim := New()
+	srv := NewServer(sim, ServerConfig{})
+	ev := mkEvent("10.0.0.1:5000", trace.UDP, 0)
+	lat := srv.Query(ev, 100*time.Millisecond)
+	if lat != 100*time.Millisecond {
+		t.Errorf("UDP latency=%v want 1 RTT", lat)
+	}
+}
+
+func TestTCPFreshVersusReused(t *testing.T) {
+	sim := New()
+	srv := NewServer(sim, ServerConfig{IdleTimeout: 20 * time.Second, NagleTailProb: -1})
+	rtt := 100 * time.Millisecond
+	ev := mkEvent("10.0.0.1:5000", trace.TCP, 0)
+	if lat := srv.Query(ev, rtt); lat != 2*rtt {
+		t.Errorf("fresh TCP latency=%v want 2 RTT", lat)
+	}
+	if srv.Established() != 1 {
+		t.Errorf("established=%d", srv.Established())
+	}
+	// Within the idle window: reuse at 1 RTT, no new handshake.
+	sim.Run(5 * time.Second)
+	if lat := srv.Query(ev, rtt); lat != rtt {
+		t.Errorf("reused TCP latency=%v want 1 RTT", lat)
+	}
+	if srv.Handshakes() != 1 {
+		t.Errorf("handshakes=%d", srv.Handshakes())
+	}
+}
+
+func TestTLSFreshIsFourRTT(t *testing.T) {
+	sim := New()
+	srv := NewServer(sim, ServerConfig{NagleTailProb: -1})
+	rtt := 50 * time.Millisecond
+	ev := mkEvent("10.0.0.2:5000", trace.TLS, 0)
+	if lat := srv.Query(ev, rtt); lat != 4*rtt {
+		t.Errorf("fresh TLS latency=%v want 4 RTT", lat)
+	}
+}
+
+func TestIdleCloseAndTimeWait(t *testing.T) {
+	sim := New()
+	srv := NewServer(sim, ServerConfig{IdleTimeout: 10 * time.Second, TimeWait: 60 * time.Second, NagleTailProb: -1})
+	srv.Query(mkEvent("10.0.0.1:5000", trace.TCP, 0), time.Millisecond)
+	// Before the timeout: still established.
+	sim.Run(9 * time.Second)
+	if srv.Established() != 1 || srv.TimeWait() != 0 {
+		t.Fatalf("at 9s: est=%d tw=%d", srv.Established(), srv.TimeWait())
+	}
+	// After the timeout: closed into TIME_WAIT.
+	sim.Run(11 * time.Second)
+	if srv.Established() != 0 || srv.TimeWait() != 1 {
+		t.Fatalf("at 11s: est=%d tw=%d", srv.Established(), srv.TimeWait())
+	}
+	// TIME_WAIT expires 60 s after the close.
+	sim.Run(71 * time.Second)
+	if srv.TimeWait() != 0 {
+		t.Fatalf("TIME_WAIT survived: %d", srv.TimeWait())
+	}
+}
+
+func TestIdleTimerExtendsOnUse(t *testing.T) {
+	sim := New()
+	srv := NewServer(sim, ServerConfig{IdleTimeout: 10 * time.Second, NagleTailProb: -1})
+	ev := mkEvent("10.0.0.1:5000", trace.TCP, 0)
+	srv.Query(ev, time.Millisecond)
+	// Use again at t=8s: the close must slide to t=18s.
+	sim.At(8*time.Second, func() { srv.Query(ev, time.Millisecond) })
+	sim.Run(15 * time.Second)
+	if srv.Established() != 1 {
+		t.Fatalf("connection closed despite activity")
+	}
+	sim.Run(19 * time.Second)
+	if srv.Established() != 0 {
+		t.Fatalf("connection survived extended idle")
+	}
+	if srv.Handshakes() != 1 {
+		t.Errorf("handshakes=%d want 1 (reuse)", srv.Handshakes())
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	sim := New()
+	srv := NewServer(sim, ServerConfig{NagleTailProb: -1})
+	base := srv.MemoryBytes()
+	if base != DefaultMemory().Base {
+		t.Errorf("base=%d", base)
+	}
+	for i := 0; i < 100; i++ {
+		srv.Query(mkEvent(netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}), 5000).String(), trace.TCP, 0), time.Millisecond)
+	}
+	withConns := srv.MemoryBytes()
+	want := base + 100*DefaultMemory().PerEstablished
+	if withConns != want {
+		t.Errorf("memory=%d want %d", withConns, want)
+	}
+	// TLS connections cost more.
+	sim2 := New()
+	srv2 := NewServer(sim2, ServerConfig{NagleTailProb: -1})
+	for i := 0; i < 100; i++ {
+		srv2.Query(mkEvent(netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)}), 5000).String(), trace.TLS, 0), time.Millisecond)
+	}
+	if srv2.MemoryBytes() <= withConns {
+		t.Errorf("TLS memory %d not above TCP %d", srv2.MemoryBytes(), withConns)
+	}
+}
+
+func TestRunEndToEndShape(t *testing.T) {
+	// A small all-TCP B-Root-model run: establishes the full pipeline
+	// trace -> mutate -> simulate -> report used by Figs 13/14.
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration: 2 * time.Minute, MedianRate: 200, Clients: 300, Seed: 11,
+	})
+	allTCP, err := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(allTCP, RunConfig{
+		Server:      ServerConfig{IdleTimeout: 20 * time.Second, Seed: 1},
+		SampleEvery: 10 * time.Second,
+	})
+	if rep.Queries == 0 {
+		t.Fatal("no queries simulated")
+	}
+	// Steady state: established connections bounded by client count and
+	// above zero.
+	ss := rep.Established.SteadyState(time.Minute)
+	if ss.P50 <= 0 || ss.P50 > 300 {
+		t.Errorf("established median=%v", ss.P50)
+	}
+	// TIME_WAIT accumulates more than established at a 20s timeout with
+	// a 60s TIME_WAIT — only when connections actually churn; with few
+	// clients and steady reuse churn is low, so just require presence.
+	if rep.TimeWait.Last() < 0 {
+		t.Error("negative TIME_WAIT")
+	}
+	// Memory above base, CPU between 0 and 100.
+	if rep.Memory.Last() < float64(DefaultMemory().Base) {
+		t.Errorf("memory=%v below base", rep.Memory.Last())
+	}
+	if rep.CPUPercent <= 0 || rep.CPUPercent >= 100 {
+		t.Errorf("cpu=%v", rep.CPUPercent)
+	}
+}
+
+func TestRunMemoryGrowsWithTimeout(t *testing.T) {
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration: 90 * time.Second, MedianRate: 300, Clients: 2000, Seed: 13,
+	})
+	allTCP, _ := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	memAt := func(timeout time.Duration) float64 {
+		rep := Run(allTCP, RunConfig{
+			Server:      ServerConfig{IdleTimeout: timeout, Seed: 1},
+			SampleEvery: 10 * time.Second,
+		})
+		return rep.Memory.SteadyState(45 * time.Second).P50
+	}
+	short, long := memAt(5*time.Second), memAt(40*time.Second)
+	if long <= short {
+		t.Errorf("memory at 40s timeout (%.0f) not above 5s (%.0f) — Fig 13a shape broken", long, short)
+	}
+}
+
+func TestRunLatenciesCollected(t *testing.T) {
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: 50 * time.Millisecond, Duration: 2 * time.Second, Clients: 4, Seed: 3,
+	})
+	allTLS, _ := mutate.Apply(tr, mutate.ForceProtocol(trace.TLS))
+	rep := Run(allTLS, RunConfig{
+		Server:        ServerConfig{Seed: 2, NagleTailProb: -1},
+		RTT:           func(netip.Addr) time.Duration { return 100 * time.Millisecond },
+		KeepLatencies: true,
+	})
+	if len(rep.Latencies) != 40 {
+		t.Fatalf("latencies=%d", len(rep.Latencies))
+	}
+	s := metrics.SummarizeDurations(latencyDurations(rep.Latencies))
+	// Fresh TLS = 4 RTT for each source's first query; reused = 1 RTT.
+	if s.Max < 0.399 || s.Max > 0.401 {
+		t.Errorf("max=%v want ~0.4s (4 RTT)", s.Max)
+	}
+	if s.P50 < 0.099 || s.P50 > 0.101 {
+		t.Errorf("median=%v want ~0.1s (reused, 1 RTT)", s.P50)
+	}
+}
+
+func latencyDurations(ls []LatencySample) []time.Duration {
+	out := make([]time.Duration, len(ls))
+	for i, l := range ls {
+		out[i] = l.Latency
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/server"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+	"ldplayer/internal/zonegen"
+)
+
+func TestResponderFromServer(t *testing.T) {
+	s := server.New(server.Config{})
+	if err := s.AddZone(zonegen.RootZone(nil)); err != nil {
+		t.Fatal(err)
+	}
+	responder := ResponderFromServer(s)
+
+	ev := mkRealQuery(t, "www.something.com.", false, trace.UDP)
+	plain := responder(ev)
+	if plain <= 12 {
+		t.Fatalf("plain response %d bytes", plain)
+	}
+	// DO responses from a signed zone are bigger than plain ones.
+	signedSrv := server.New(server.Config{})
+	z := zonegen.RootZone(nil)
+	// (unsigned zone: DO adds only the OPT record, still larger)
+	if err := signedSrv.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	do := ResponderFromServer(signedSrv)(mkRealQuery(t, "www.something.com.", true, trace.UDP))
+	if do <= plain {
+		t.Errorf("DO response %d not above plain %d", do, plain)
+	}
+	// TCP adds the length prefix.
+	tcp := responder(mkRealQuery(t, "www.something.com.", false, trace.TCP))
+	if tcp != plain+2 {
+		t.Errorf("tcp=%d plain=%d", tcp, plain)
+	}
+	// Garbage wire yields 0.
+	if n := responder(&trace.Event{Wire: []byte{1, 2, 3}}); n != 0 {
+		t.Errorf("garbage responder=%d", n)
+	}
+}
+
+func mkRealQuery(t *testing.T, name dnsmsg.Name, do bool, proto trace.Proto) *trace.Event {
+	t.Helper()
+	var m dnsmsg.Msg
+	m.ID = 1
+	m.SetQuestion(name, dnsmsg.TypeA)
+	if do {
+		m.SetEDNS(4096, true)
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &trace.Event{
+		Time: workload.DefaultStart, Src: workload.ServerAddr, Dst: workload.ServerAddr,
+		Proto: proto, Wire: wire,
+	}
+}
+
+// TestRunWithRealResponder wires the simulator to a real server: the
+// bandwidth series then reflects genuine response sizes.
+func TestRunWithRealResponder(t *testing.T) {
+	s := server.New(server.Config{})
+	if err := s.AddZone(zonegen.RootZone(nil)); err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration: 30 * time.Second, MedianRate: 100, Clients: 100, Seed: 35,
+	})
+	rep := Run(tr, RunConfig{
+		Server:      ServerConfig{Responder: ResponderFromServer(s), Seed: 1},
+		SampleEvery: 10 * time.Second,
+	})
+	if rep.BytesOut == 0 {
+		t.Fatal("no bytes accounted")
+	}
+	perQuery := float64(rep.BytesOut) / float64(rep.Queries)
+	// Root responses (referrals, NXDOMAINs, some with OPT) average well
+	// above the fixed 100-byte placeholder and below 600 bytes unsigned.
+	if perQuery < 50 || perQuery > 600 {
+		t.Errorf("mean response size=%.0f bytes", perQuery)
+	}
+}

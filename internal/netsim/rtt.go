@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// RTT assignment helpers. The paper's §5.2 varies client-server RTT
+// either as a constant or "based on a distribution"; these build the
+// per-source RTT functions RunConfig.RTT accepts. Each source keeps a
+// stable RTT across its queries (it is one host at one network
+// distance), derived deterministically from its address.
+
+// ConstantRTT gives every source the same RTT.
+func ConstantRTT(rtt time.Duration) func(netip.Addr) time.Duration {
+	return func(netip.Addr) time.Duration { return rtt }
+}
+
+// EmpiricalRTT draws each source's RTT from a client-RTT-like mixture:
+// ~30% nearby (5–25 ms), ~50% continental (25–95 ms), ~20% far
+// (95–250 ms) — the long-tailed shape root-server client populations
+// show. The seed varies the assignment without losing per-source
+// stability.
+func EmpiricalRTT(seed int64) func(netip.Addr) time.Duration {
+	return func(src netip.Addr) time.Duration {
+		u1 := addrUniform(src, seed)
+		u2 := addrUniform(src, seed+1)
+		var ms float64
+		switch {
+		case u1 < 0.30:
+			ms = 5 + 20*u2
+		case u1 < 0.80:
+			ms = 25 + 70*u2
+		default:
+			ms = 95 + 155*u2
+		}
+		return time.Duration(ms * float64(time.Millisecond))
+	}
+}
+
+// LogNormalRTT draws per-source RTTs from a log-normal distribution
+// with the given median and sigma (in log space) — the standard
+// Internet-latency model.
+func LogNormalRTT(median time.Duration, sigma float64, seed int64) func(netip.Addr) time.Duration {
+	mu := math.Log(median.Seconds())
+	return func(src netip.Addr) time.Duration {
+		// Box-Muller from two address-derived uniforms.
+		u1 := addrUniform(src, seed)
+		u2 := addrUniform(src, seed+1)
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		sec := math.Exp(mu + sigma*z)
+		if sec < 0.0002 {
+			sec = 0.0002
+		}
+		if sec > 2 {
+			sec = 2
+		}
+		return time.Duration(sec * float64(time.Second))
+	}
+}
+
+// addrUniform hashes an address (plus salt) to a stable uniform [0,1).
+func addrUniform(src netip.Addr, salt int64) float64 {
+	h := fnv.New64a()
+	b := src.As16()
+	h.Write(b[:])
+	var sb [8]byte
+	for i := 0; i < 8; i++ {
+		sb[i] = byte(salt >> (8 * i))
+	}
+	h.Write(sb[:])
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

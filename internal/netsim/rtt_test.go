@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"ldplayer/internal/metrics"
+)
+
+func addrN(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{100, 64, byte(i >> 8), byte(i)})
+}
+
+func TestConstantRTT(t *testing.T) {
+	f := ConstantRTT(20 * time.Millisecond)
+	if f(addrN(1)) != 20*time.Millisecond || f(addrN(2)) != 20*time.Millisecond {
+		t.Error("constant RTT varies")
+	}
+}
+
+func TestEmpiricalRTTStableAndSpread(t *testing.T) {
+	f := EmpiricalRTT(1)
+	// Stability: the same source always gets the same RTT.
+	for i := 0; i < 100; i++ {
+		a := f(addrN(i))
+		if f(addrN(i)) != a {
+			t.Fatal("per-source RTT not stable")
+		}
+	}
+	// Spread: samples across sources cover near and far.
+	var vals []float64
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, f(addrN(i)).Seconds()*1000)
+	}
+	s := metrics.Summarize(vals)
+	if s.Min < 4 || s.Min > 30 {
+		t.Errorf("min=%v ms", s.Min)
+	}
+	if s.Max < 95 || s.Max > 255 {
+		t.Errorf("max=%v ms", s.Max)
+	}
+	if s.P50 < 20 || s.P50 > 100 {
+		t.Errorf("median=%v ms", s.P50)
+	}
+	// Different seeds give different assignments.
+	g := EmpiricalRTT(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f(addrN(i)) == g(addrN(i)) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Errorf("%d/100 sources identical across seeds", same)
+	}
+}
+
+func TestLogNormalRTT(t *testing.T) {
+	f := LogNormalRTT(50*time.Millisecond, 0.6, 3)
+	var vals []float64
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, f(addrN(i)).Seconds()*1000)
+	}
+	s := metrics.Summarize(vals)
+	// Median near the configured median, long right tail.
+	if s.P50 < 35 || s.P50 > 70 {
+		t.Errorf("median=%v ms want ~50", s.P50)
+	}
+	if s.P95 < s.P50*1.8 {
+		t.Errorf("tail too short: p95=%v p50=%v", s.P95, s.P50)
+	}
+	// Clamped to sane bounds.
+	if s.Min < 0.2 || s.Max > 2000 {
+		t.Errorf("bounds: min=%v max=%v", s.Min, s.Max)
+	}
+}

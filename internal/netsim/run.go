@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/trace"
+)
+
+// RunConfig parameterizes a simulated replay.
+type RunConfig struct {
+	Server ServerConfig
+	// RTT gives the client-to-server round-trip time per source; nil
+	// means a constant 1 ms (the paper's "<1ms" LAN).
+	RTT func(src netip.Addr) time.Duration
+	// SampleEvery controls how often resource series are sampled
+	// (default: 60 simulated seconds, like the paper's minute plots).
+	SampleEvery time.Duration
+	// KeepLatencies records per-query latency (Fig 15); off for the
+	// memory runs to save space.
+	KeepLatencies bool
+}
+
+// LatencySample pairs a query's latency with its source and transport.
+type LatencySample struct {
+	Src     netip.Addr
+	Proto   trace.Proto
+	Latency time.Duration
+	Fresh   bool
+}
+
+// RunReport is everything the §5 figures need from one simulated run.
+type RunReport struct {
+	// Resource time series sampled during the run.
+	Memory      metrics.TimeSeries // bytes
+	Established metrics.TimeSeries // connections
+	TimeWait    metrics.TimeSeries // connections
+	Bandwidth   metrics.TimeSeries // response bit/s per sample window
+
+	CPUPercent float64
+	Queries    uint64
+	Handshakes uint64
+	BytesOut   uint64
+	Duration   time.Duration
+
+	Latencies []LatencySample
+}
+
+// Run replays a trace through the simulated server and collects the
+// report. Event times are taken relative to the first event.
+func Run(tr *trace.Trace, cfg RunConfig) *RunReport {
+	rep := &RunReport{}
+	if len(tr.Events) == 0 {
+		return rep
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = time.Minute
+	}
+	rtt := cfg.RTT
+	if rtt == nil {
+		rtt = func(netip.Addr) time.Duration { return time.Millisecond }
+	}
+
+	sim := New()
+	srv := NewServer(sim, cfg.Server)
+	start := tr.Events[0].Time
+	end := tr.Events[len(tr.Events)-1].Time.Sub(start)
+
+	// Periodic resource sampling.
+	var lastBytes uint64
+	var sample func()
+	sample = func() {
+		at := sim.Now()
+		rep.Memory.Add(at, float64(srv.MemoryBytes()))
+		rep.Established.Add(at, float64(srv.Established()))
+		rep.TimeWait.Add(at, float64(srv.TimeWait()))
+		cur := srv.BytesOut()
+		rep.Bandwidth.Add(at, float64(cur-lastBytes)*8/cfg.SampleEvery.Seconds())
+		lastBytes = cur
+		if at < end {
+			sim.After(cfg.SampleEvery, sample)
+		}
+	}
+	sim.After(cfg.SampleEvery, sample)
+
+	// Schedule every query at its trace offset.
+	for _, ev := range tr.Events {
+		if !ev.IsQuery() {
+			continue
+		}
+		ev := ev
+		off := ev.Time.Sub(start)
+		sim.At(off, func() {
+			r := rtt(ev.Src.Addr())
+			lat := srv.Query(ev, r)
+			if cfg.KeepLatencies {
+				rep.Latencies = append(rep.Latencies, LatencySample{
+					Src: ev.Src.Addr(), Proto: ev.Proto, Latency: lat,
+				})
+			}
+		})
+	}
+
+	// Run past the end so idle closes and TIME_WAIT drains are observed
+	// (one idle timeout + one TIME_WAIT period beyond the last query).
+	drain := cfg.Server.withDefaults().IdleTimeout + cfg.Server.withDefaults().TimeWait
+	sim.Run(end + drain)
+
+	rep.CPUPercent = 100 * srv.cpuBusy.Seconds() / (end.Seconds() * float64(srv.cfg.Cores))
+	rep.Queries = srv.queries
+	rep.Handshakes = srv.handshakes
+	rep.BytesOut = srv.BytesOut()
+	rep.Duration = end
+	return rep
+}
+
+// ResponderFromServer adapts a real authoritative server into the
+// simulator's response-size source: every simulated query is actually
+// answered by srv from its zones, so response bytes in the report are
+// genuine wire sizes — only time is simulated.
+func ResponderFromServer(srv interface {
+	HandleQuery(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg
+}) func(ev *trace.Event) int {
+	return func(ev *trace.Event) int {
+		var req dnsmsg.Msg
+		if err := req.Unpack(ev.Wire); err != nil {
+			return 0
+		}
+		resp := srv.HandleQuery(ev.Src.Addr(), &req, 0)
+		wire, err := resp.Pack()
+		if err != nil {
+			return 0
+		}
+		// Stream transports add the 2-byte length prefix.
+		if ev.Proto != trace.UDP {
+			return len(wire) + 2
+		}
+		return len(wire)
+	}
+}

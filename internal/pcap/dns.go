@@ -1,0 +1,116 @@
+package pcap
+
+import (
+	"io"
+
+	"ldplayer/internal/trace"
+)
+
+// DNSReader adapts a pcap stream into trace events: it decodes frames,
+// keeps only port-53 UDP and TCP traffic, reassembles TCP streams, and
+// yields one trace.Event per DNS message. It implements trace.Reader,
+// making "pcap in, anything out" conversions one-liners.
+type DNSReader struct {
+	pr    *Reader
+	ra    *Reassembler
+	queue []*trace.Event
+
+	// Dropped counts frames that were not decodable DNS traffic.
+	Dropped int
+}
+
+// NewDNSReader wraps an underlying pcap reader.
+func NewDNSReader(r io.Reader) (*DNSReader, error) {
+	pr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DNSReader{pr: pr, ra: NewReassembler()}, nil
+}
+
+// Read returns the next DNS message as a trace event, or io.EOF.
+func (dr *DNSReader) Read() (*trace.Event, error) {
+	for {
+		if len(dr.queue) > 0 {
+			e := dr.queue[0]
+			dr.queue = dr.queue[1:]
+			return e, nil
+		}
+		pkt, err := dr.pr.Read()
+		if err != nil {
+			return nil, err
+		}
+		dr.ingest(pkt)
+	}
+}
+
+func (dr *DNSReader) ingest(pkt Packet) {
+	var d Decoded
+	if err := Decode(dr.pr.LinkType, pkt.Data, &d); err != nil {
+		dr.Dropped++
+		return
+	}
+	src, dst := d.Src(), d.Dst()
+	if src.Port() != 53 && dst.Port() != 53 {
+		dr.Dropped++
+		return
+	}
+	if d.IsTCP {
+		for _, wire := range dr.ra.Push(&d) {
+			dr.queue = append(dr.queue, &trace.Event{
+				Time: pkt.Time, Src: src, Dst: dst, Proto: trace.TCP, Wire: wire,
+			})
+		}
+		return
+	}
+	if len(d.Payload) < 12 {
+		dr.Dropped++
+		return
+	}
+	wire := make([]byte, len(d.Payload))
+	copy(wire, d.Payload)
+	dr.queue = append(dr.queue, &trace.Event{
+		Time: pkt.Time, Src: src, Dst: dst, Proto: trace.UDP, Wire: wire,
+	})
+}
+
+// DNSWriter renders trace events into a pcap file, synthesizing the
+// packet framing: UDP events become single datagrams; TCP events become
+// data segments on a per-flow stream with a SYN emitted at first use. It
+// implements trace.Writer, closing the loop pcap -> trace -> pcap.
+type DNSWriter struct {
+	pw    *Writer
+	flows map[flowKey]uint32 // next sequence per flow
+}
+
+// NewDNSWriter creates a writer emitting Ethernet-framed packets.
+func NewDNSWriter(w io.Writer) *DNSWriter {
+	return &DNSWriter{pw: NewWriter(w, LinkEthernet), flows: make(map[flowKey]uint32)}
+}
+
+// Write renders one event.
+func (dw *DNSWriter) Write(e *trace.Event) error {
+	if e.Proto == trace.UDP {
+		return dw.pw.Write(Packet{Time: e.Time, Data: EncodeUDPv4(e.Src, e.Dst, e.Wire)})
+	}
+	key := flowKey{e.Src, e.Dst}
+	seq, started := dw.flows[key]
+	if !started {
+		seq = 1000
+		if err := dw.pw.Write(Packet{Time: e.Time, Data: EncodeTCPv4(e.Src, e.Dst, seq, 0, true, false, nil)}); err != nil {
+			return err
+		}
+		seq++
+	}
+	payload := make([]byte, 0, 2+len(e.Wire))
+	payload = append(payload, byte(len(e.Wire)>>8), byte(len(e.Wire)))
+	payload = append(payload, e.Wire...)
+	if err := dw.pw.Write(Packet{Time: e.Time, Data: EncodeTCPv4(e.Src, e.Dst, seq, 1, false, false, payload)}); err != nil {
+		return err
+	}
+	dw.flows[key] = seq + uint32(len(payload))
+	return nil
+}
+
+// Flush finalizes the capture.
+func (dw *DNSWriter) Flush() error { return dw.pw.Flush() }

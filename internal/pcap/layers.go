@@ -1,0 +1,312 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Decoded layer structs, filled in place by Decode (the DecodingLayer
+// pattern: no allocation, payloads are sub-slices of the frame).
+
+// Ethernet is the 14-byte MAC header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// EtherTypes the DNS path cares about.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86DD
+)
+
+// IPv4 is the fields of an IPv4 header the DNS path uses.
+type IPv4 struct {
+	Src, Dst netip.Addr
+	Protocol uint8
+	TTL      uint8
+}
+
+// IPv6 is the fields of an IPv6 header the DNS path uses.
+type IPv6 struct {
+	Src, Dst netip.Addr
+	NextHdr  uint8
+	HopLimit uint8
+}
+
+// IP protocol numbers.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// UDP is the 8-byte UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// TCP is the fields of a TCP header the reassembler uses.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	SYN, ACK, FIN    bool
+	RST, PSH         bool
+}
+
+// Decoded is the result of decoding one frame down to transport payload.
+type Decoded struct {
+	HasEth  bool
+	Eth     Ethernet
+	IsIPv6  bool
+	V4      IPv4
+	V6      IPv6
+	IsTCP   bool
+	UDP     UDP
+	TCP     TCP
+	Payload []byte // transport payload (DNS for port-53 traffic)
+}
+
+// Src returns the transport source endpoint.
+func (d *Decoded) Src() netip.AddrPort {
+	addr := d.V4.Src
+	if d.IsIPv6 {
+		addr = d.V6.Src
+	}
+	port := d.UDP.SrcPort
+	if d.IsTCP {
+		port = d.TCP.SrcPort
+	}
+	return netip.AddrPortFrom(addr, port)
+}
+
+// Dst returns the transport destination endpoint.
+func (d *Decoded) Dst() netip.AddrPort {
+	addr := d.V4.Dst
+	if d.IsIPv6 {
+		addr = d.V6.Dst
+	}
+	port := d.UDP.DstPort
+	if d.IsTCP {
+		port = d.TCP.DstPort
+	}
+	return netip.AddrPortFrom(addr, port)
+}
+
+// Decode errors.
+var (
+	ErrShortFrame   = errors.New("pcap: frame too short")
+	ErrNotIP        = errors.New("pcap: not an IP packet")
+	ErrNotTransport = errors.New("pcap: not UDP or TCP")
+)
+
+// Decode parses a frame of the given link type into d.
+func Decode(linkType uint32, frame []byte, d *Decoded) error {
+	*d = Decoded{}
+	ip := frame
+	switch linkType {
+	case LinkEthernet:
+		if len(frame) < 14 {
+			return ErrShortFrame
+		}
+		d.HasEth = true
+		copy(d.Eth.Dst[:], frame[0:6])
+		copy(d.Eth.Src[:], frame[6:12])
+		d.Eth.EtherType = binary.BigEndian.Uint16(frame[12:])
+		switch d.Eth.EtherType {
+		case EtherTypeIPv4, EtherTypeIPv6:
+		default:
+			return ErrNotIP
+		}
+		ip = frame[14:]
+	case LinkRaw:
+	case LinkLoop:
+		if len(frame) < 4 {
+			return ErrShortFrame
+		}
+		ip = frame[4:]
+	default:
+		return fmt.Errorf("pcap: unsupported link type %d", linkType)
+	}
+	if len(ip) < 1 {
+		return ErrShortFrame
+	}
+	switch ip[0] >> 4 {
+	case 4:
+		return decodeIPv4(ip, d)
+	case 6:
+		return decodeIPv6(ip, d)
+	}
+	return ErrNotIP
+}
+
+func decodeIPv4(b []byte, d *Decoded) error {
+	if len(b) < 20 {
+		return ErrShortFrame
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < 20 || len(b) < ihl {
+		return ErrShortFrame
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total >= ihl && total <= len(b) {
+		b = b[:total] // trim link-layer padding
+	}
+	d.V4 = IPv4{
+		Src:      netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
+		Protocol: b[9],
+		TTL:      b[8],
+	}
+	return decodeTransport(b[9], b[ihl:], d)
+}
+
+func decodeIPv6(b []byte, d *Decoded) error {
+	if len(b) < 40 {
+		return ErrShortFrame
+	}
+	payLen := int(binary.BigEndian.Uint16(b[4:]))
+	if 40+payLen <= len(b) {
+		b = b[:40+payLen]
+	}
+	d.IsIPv6 = true
+	d.V6 = IPv6{
+		Src:      netip.AddrFrom16([16]byte(b[8:24])),
+		Dst:      netip.AddrFrom16([16]byte(b[24:40])),
+		NextHdr:  b[6],
+		HopLimit: b[7],
+	}
+	// Extension headers are not used by the generated traces; bail on them.
+	return decodeTransport(b[6], b[40:], d)
+}
+
+func decodeTransport(proto uint8, b []byte, d *Decoded) error {
+	switch proto {
+	case ProtoUDP:
+		if len(b) < 8 {
+			return ErrShortFrame
+		}
+		d.UDP = UDP{
+			SrcPort: binary.BigEndian.Uint16(b[0:]),
+			DstPort: binary.BigEndian.Uint16(b[2:]),
+			Length:  binary.BigEndian.Uint16(b[4:]),
+		}
+		end := int(d.UDP.Length)
+		if end >= 8 && end <= len(b) {
+			d.Payload = b[8:end]
+		} else {
+			d.Payload = b[8:]
+		}
+		return nil
+	case ProtoTCP:
+		if len(b) < 20 {
+			return ErrShortFrame
+		}
+		off := int(b[12]>>4) * 4
+		if off < 20 || len(b) < off {
+			return ErrShortFrame
+		}
+		flags := b[13]
+		d.IsTCP = true
+		d.TCP = TCP{
+			SrcPort: binary.BigEndian.Uint16(b[0:]),
+			DstPort: binary.BigEndian.Uint16(b[2:]),
+			Seq:     binary.BigEndian.Uint32(b[4:]),
+			Ack:     binary.BigEndian.Uint32(b[8:]),
+			FIN:     flags&0x01 != 0,
+			SYN:     flags&0x02 != 0,
+			RST:     flags&0x04 != 0,
+			PSH:     flags&0x08 != 0,
+			ACK:     flags&0x10 != 0,
+		}
+		d.Payload = b[off:]
+		return nil
+	}
+	return ErrNotTransport
+}
+
+// Encode builds frames for synthetic captures (the reverse of Decode).
+
+// EncodeUDPv4 wraps payload in UDP/IPv4/Ethernet framing.
+func EncodeUDPv4(src, dst netip.AddrPort, payload []byte) []byte {
+	udpLen := 8 + len(payload)
+	ipLen := 20 + udpLen
+	frame := make([]byte, 14+ipLen)
+	// Ethernet: synthetic MACs, IPv4 ethertype.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 1})
+	binary.BigEndian.PutUint16(frame[12:], EtherTypeIPv4)
+	ip := frame[14:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipLen))
+	ip[8] = 64
+	ip[9] = ProtoUDP
+	sa := src.Addr().As4()
+	da := dst.Addr().As4()
+	copy(ip[12:16], sa[:])
+	copy(ip[16:20], da[:])
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:20]))
+	udp := ip[20:]
+	binary.BigEndian.PutUint16(udp[0:], src.Port())
+	binary.BigEndian.PutUint16(udp[2:], dst.Port())
+	binary.BigEndian.PutUint16(udp[4:], uint16(udpLen))
+	copy(udp[8:], payload)
+	return frame
+}
+
+// EncodeTCPv4 wraps payload in a TCP/IPv4/Ethernet frame with the given
+// sequence number and flags (synthetic captures only carry data and the
+// handshake skeleton).
+func EncodeTCPv4(src, dst netip.AddrPort, seq, ack uint32, syn, fin bool, payload []byte) []byte {
+	tcpLen := 20 + len(payload)
+	ipLen := 20 + tcpLen
+	frame := make([]byte, 14+ipLen)
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 1})
+	binary.BigEndian.PutUint16(frame[12:], EtherTypeIPv4)
+	ip := frame[14:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipLen))
+	ip[8] = 64
+	ip[9] = ProtoTCP
+	sa := src.Addr().As4()
+	da := dst.Addr().As4()
+	copy(ip[12:16], sa[:])
+	copy(ip[16:20], da[:])
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:20]))
+	tcp := ip[20:]
+	binary.BigEndian.PutUint16(tcp[0:], src.Port())
+	binary.BigEndian.PutUint16(tcp[2:], dst.Port())
+	binary.BigEndian.PutUint32(tcp[4:], seq)
+	binary.BigEndian.PutUint32(tcp[8:], ack)
+	tcp[12] = 5 << 4      // data offset
+	var flags byte = 0x10 // ACK
+	if syn {
+		flags |= 0x02
+	}
+	if fin {
+		flags |= 0x01
+	}
+	if len(payload) > 0 {
+		flags |= 0x08 // PSH
+	}
+	tcp[13] = flags
+	copy(tcp[20:], payload)
+	return frame
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,163 @@
+// Package pcap reads and writes classic libpcap capture files and decodes
+// the Ethernet/IPv4/IPv6/UDP/TCP framing around DNS messages. The decoder
+// follows gopacket's DecodingLayer discipline: it parses into
+// caller-owned structs with no per-packet allocation beyond payload
+// slicing, so converting multi-gigabyte traces stays cheap.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Classic pcap magic numbers.
+const (
+	magicUsec        = 0xa1b2c3d4 // microsecond timestamps, host order
+	magicUsecSwapped = 0xd4c3b2a1
+	magicNsec        = 0xa1b23c4d // nanosecond timestamps
+	magicNsecSwapped = 0x4d3cb2a1
+)
+
+// Link types this reader understands.
+const (
+	LinkEthernet = 1   // DLT_EN10MB
+	LinkRaw      = 101 // DLT_RAW: bare IP
+	LinkLoop     = 0   // DLT_NULL: 4-byte family + IP
+)
+
+// Packet is one captured frame.
+type Packet struct {
+	Time time.Time
+	Data []byte // link-layer frame as captured
+	Orig int    // original wire length (>= len(Data) when truncated)
+}
+
+// Reader streams packets from a pcap file.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	LinkType uint32
+	snapLen  uint32
+}
+
+// NewReader parses the global header and prepares to stream packets.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: short global header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	pr := &Reader{r: br}
+	switch magic {
+	case magicUsec:
+		pr.order = binary.LittleEndian
+	case magicNsec:
+		pr.order, pr.nanos = binary.LittleEndian, true
+	case magicUsecSwapped:
+		pr.order = binary.BigEndian
+	case magicNsecSwapped:
+		pr.order, pr.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("pcap: bad magic %#x", magic)
+	}
+	pr.snapLen = pr.order.Uint32(hdr[16:])
+	pr.LinkType = pr.order.Uint32(hdr[20:])
+	return pr, nil
+}
+
+// Read returns the next packet or io.EOF.
+func (pr *Reader) Read() (Packet, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Packet{}, io.ErrUnexpectedEOF
+		}
+		return Packet{}, io.EOF
+	}
+	sec := pr.order.Uint32(hdr[0:])
+	frac := pr.order.Uint32(hdr[4:])
+	capLen := pr.order.Uint32(hdr[8:])
+	origLen := pr.order.Uint32(hdr[12:])
+	if capLen > 256*1024 {
+		return Packet{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Packet{}, io.ErrUnexpectedEOF
+	}
+	ns := int64(frac)
+	if !pr.nanos {
+		ns *= 1000
+	}
+	return Packet{
+		Time: time.Unix(int64(sec), ns),
+		Data: data,
+		Orig: int(origLen),
+	}, nil
+}
+
+// Writer emits a pcap file with nanosecond timestamps.
+type Writer struct {
+	w           *bufio.Writer
+	linkType    uint32
+	wroteHeader bool
+}
+
+// NewWriter creates a writer for the given link type (LinkEthernet or
+// LinkRaw).
+func NewWriter(w io.Writer, linkType uint32) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), linkType: linkType}
+}
+
+// Write appends one packet.
+func (pw *Writer) Write(p Packet) error {
+	if !pw.wroteHeader {
+		var hdr [24]byte
+		binary.LittleEndian.PutUint32(hdr[0:], magicNsec)
+		binary.LittleEndian.PutUint16(hdr[4:], 2) // version 2.4
+		binary.LittleEndian.PutUint16(hdr[6:], 4)
+		binary.LittleEndian.PutUint32(hdr[16:], 262144) // snaplen
+		binary.LittleEndian.PutUint32(hdr[20:], pw.linkType)
+		if _, err := pw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		pw.wroteHeader = true
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(p.Time.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(p.Time.Nanosecond()))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(p.Data)))
+	orig := p.Orig
+	if orig < len(p.Data) {
+		orig = len(p.Data)
+	}
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(orig))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(p.Data)
+	return err
+}
+
+// Flush drains buffered output.
+func (pw *Writer) Flush() error {
+	if !pw.wroteHeader {
+		// An empty capture still needs its global header.
+		var hdr [24]byte
+		binary.LittleEndian.PutUint32(hdr[0:], magicNsec)
+		binary.LittleEndian.PutUint16(hdr[4:], 2)
+		binary.LittleEndian.PutUint16(hdr[6:], 4)
+		binary.LittleEndian.PutUint32(hdr[16:], 262144)
+		binary.LittleEndian.PutUint32(hdr[20:], pw.linkType)
+		if _, err := pw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		pw.wroteHeader = true
+	}
+	return pw.w.Flush()
+}

@@ -1,0 +1,81 @@
+// Package proxy implements the two address-rewriting proxies of the
+// paper's §2.4 (Fig 2). The recursive proxy captures the recursive
+// server's outgoing queries and rewrites them so they reach the
+// meta-DNS-server carrying the original query destination address (OQDA)
+// as their source — the split-horizon zone selector. The authoritative
+// proxy captures the meta server's replies and rewrites them so the
+// recursive server sees a normal answer from the address it originally
+// queried, never learning about the manipulation.
+package proxy
+
+import (
+	"net/netip"
+	"sync/atomic"
+
+	"ldplayer/internal/vnet"
+)
+
+// Recursive is the proxy on the recursive server's side.
+//
+// Incoming (diverted query):  src = recursive:port  dst = OQDA:53
+// Outgoing:                   src = OQDA:port       dst = meta:53
+//
+// Moving the OQDA into the source preserves the one piece of information
+// the query content cannot carry: which hierarchy level it was aimed at.
+// The source port passes through untouched so the reply can find the
+// recursive server's socket again.
+type Recursive struct {
+	Net  *vnet.Network
+	Meta netip.Addr // meta-DNS-server address
+
+	rewritten atomic.Uint64
+}
+
+// Handle is the proxy's packet entry point (attach to the vnet).
+func (p *Recursive) Handle(pkt vnet.Packet) {
+	oqda := pkt.Dst.Addr()
+	out := vnet.Packet{
+		Src:     netip.AddrPortFrom(oqda, pkt.Src.Port()),
+		Dst:     netip.AddrPortFrom(p.Meta, pkt.Dst.Port()),
+		Payload: pkt.Payload,
+	}
+	p.rewritten.Add(1)
+	// Delivery errors mean a missing endpoint; the packet is dropped the
+	// same way a real non-routable packet would be.
+	_ = p.Net.Send(out)
+}
+
+// Rewritten reports how many queries the proxy has processed.
+func (p *Recursive) Rewritten() uint64 { return p.rewritten.Load() }
+
+// Authoritative is the proxy on the meta-DNS-server's side.
+//
+// Incoming (diverted reply):  src = meta:53  dst = OQDA:port
+// Outgoing:                   src = OQDA:53  dst = recursive:port
+//
+// Putting the reply's destination (the OQDA) into its source makes the
+// recursive server see a reply from exactly the server it queried. The
+// prototype pairs one recursive with one authoritative proxy (§3);
+// partitioning zones across several authoritative servers is the paper's
+// future work.
+type Authoritative struct {
+	Net       *vnet.Network
+	Recursive netip.Addr // recursive server address
+
+	rewritten atomic.Uint64
+}
+
+// Handle is the proxy's packet entry point (attach to the vnet).
+func (p *Authoritative) Handle(pkt vnet.Packet) {
+	oqda := pkt.Dst.Addr()
+	out := vnet.Packet{
+		Src:     netip.AddrPortFrom(oqda, pkt.Src.Port()),
+		Dst:     netip.AddrPortFrom(p.Recursive, pkt.Dst.Port()),
+		Payload: pkt.Payload,
+	}
+	p.rewritten.Add(1)
+	_ = p.Net.Send(out)
+}
+
+// Rewritten reports how many replies the proxy has processed.
+func (p *Authoritative) Rewritten() uint64 { return p.rewritten.Load() }

@@ -1,0 +1,108 @@
+package proxy
+
+import (
+	"net/netip"
+	"testing"
+
+	"ldplayer/internal/vnet"
+)
+
+var (
+	recursiveAddr = netip.MustParseAddr("10.99.0.2")
+	metaAddr      = netip.MustParseAddr("10.99.0.3")
+	oqda          = netip.MustParseAddr("192.5.6.30") // a TLD server's public IP
+)
+
+func TestRecursiveProxyRewrite(t *testing.T) {
+	n := vnet.New()
+	var atMeta []vnet.Packet
+	n.Attach(metaAddr, func(pkt vnet.Packet) { atMeta = append(atMeta, pkt) })
+	p := &Recursive{Net: n, Meta: metaAddr}
+
+	// The recursive server sent a query to the TLD server (OQDA) from
+	// ephemeral port 41000; the TUN rule diverted it to the proxy.
+	p.Handle(vnet.Packet{
+		Src:     netip.AddrPortFrom(recursiveAddr, 41000),
+		Dst:     netip.AddrPortFrom(oqda, 53),
+		Payload: []byte("query"),
+	})
+	if len(atMeta) != 1 {
+		t.Fatalf("packets at meta: %d", len(atMeta))
+	}
+	got := atMeta[0]
+	// Source address must now be the OQDA (zone selector), source port
+	// preserved (reply routing), destination the meta server.
+	if got.Src.Addr() != oqda || got.Src.Port() != 41000 {
+		t.Errorf("src=%v want %v:41000", got.Src, oqda)
+	}
+	if got.Dst.Addr() != metaAddr || got.Dst.Port() != 53 {
+		t.Errorf("dst=%v want %v:53", got.Dst, metaAddr)
+	}
+	if p.Rewritten() != 1 {
+		t.Errorf("rewritten=%d", p.Rewritten())
+	}
+}
+
+func TestAuthoritativeProxyRewrite(t *testing.T) {
+	n := vnet.New()
+	var atRec []vnet.Packet
+	n.Attach(recursiveAddr, func(pkt vnet.Packet) { atRec = append(atRec, pkt) })
+	p := &Authoritative{Net: n, Recursive: recursiveAddr}
+
+	// The meta server replied toward the OQDA (where the query claimed to
+	// come from); the TUN rule diverted the reply to the proxy.
+	p.Handle(vnet.Packet{
+		Src:     netip.AddrPortFrom(metaAddr, 53),
+		Dst:     netip.AddrPortFrom(oqda, 41000),
+		Payload: []byte("reply"),
+	})
+	if len(atRec) != 1 {
+		t.Fatalf("packets at recursive: %d", len(atRec))
+	}
+	got := atRec[0]
+	// The recursive server must see a normal reply: from the server it
+	// originally queried (OQDA:53), to its own ephemeral port.
+	if got.Src.Addr() != oqda || got.Src.Port() != 53 {
+		t.Errorf("src=%v want %v:53", got.Src, oqda)
+	}
+	if got.Dst.Addr() != recursiveAddr || got.Dst.Port() != 41000 {
+		t.Errorf("dst=%v want %v:41000", got.Dst, recursiveAddr)
+	}
+}
+
+// TestRewriteComposition: recursive-proxy output fed through the meta
+// reply path and the authoritative proxy restores exactly the addresses
+// the recursive server expects — the full Fig 2 loop at packet level.
+func TestRewriteComposition(t *testing.T) {
+	n := vnet.New()
+	rec := &Recursive{Net: n, Meta: metaAddr}
+	auth := &Authoritative{Net: n, Recursive: recursiveAddr}
+
+	var final []vnet.Packet
+	n.Attach(recursiveAddr, func(pkt vnet.Packet) { final = append(final, pkt) })
+	n.Attach(metaAddr, func(pkt vnet.Packet) {
+		// Meta echoes a reply back toward the packet's claimed source.
+		auth.Handle(vnet.Packet{
+			Src:     netip.AddrPortFrom(metaAddr, 53),
+			Dst:     pkt.Src,
+			Payload: pkt.Payload,
+		})
+	})
+
+	orig := vnet.Packet{
+		Src:     netip.AddrPortFrom(recursiveAddr, 50123),
+		Dst:     netip.AddrPortFrom(oqda, 53),
+		Payload: []byte("ping"),
+	}
+	rec.Handle(orig)
+	if len(final) != 1 {
+		t.Fatalf("final packets: %d", len(final))
+	}
+	got := final[0]
+	if got.Src != orig.Dst {
+		t.Errorf("reply src=%v want original dst %v", got.Src, orig.Dst)
+	}
+	if got.Dst != orig.Src {
+		t.Errorf("reply dst=%v want original src %v", got.Dst, orig.Src)
+	}
+}

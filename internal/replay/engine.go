@@ -1,0 +1,208 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// Engine is the in-process replay pipeline: one controller goroutine
+// (Reader + Postman), D distributor goroutines, D×Q querier goroutines.
+// The same pipeline shape runs across machines via the protocol in
+// remote.go; in-process channels stand in for the TCP links.
+type Engine struct {
+	cfg Config
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if !cfg.Server.IsValid() {
+		return nil, errors.New("replay: no target server")
+	}
+	return &Engine{cfg: cfg.withDefaults()}, nil
+}
+
+// Run replays the input stream and blocks until every query is sent and
+// responses have drained (or ctx ends early).
+func (e *Engine) Run(ctx context.Context, input trace.Reader) (*Report, error) {
+	cfg := e.cfg
+
+	// Build the distribution tree: two-level by default; the ablation's
+	// direct mode routes the controller straight to queriers.
+	var queriers []*querier
+	var dists []*distributor
+	if cfg.DirectDistribution {
+		n := cfg.Distributors * cfg.QueriersPerDistributor
+		for i := 0; i < n; i++ {
+			queriers = append(queriers, newQuerier(cfg))
+		}
+	} else {
+		dists = make([]*distributor, cfg.Distributors)
+		for d := range dists {
+			qs := make([]*querier, cfg.QueriersPerDistributor)
+			for qi := range qs {
+				q := newQuerier(cfg)
+				qs[qi] = q
+				queriers = append(queriers, q)
+			}
+			dists[d] = newDistributor(qs, cfg.ChannelDepth)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, d := range dists {
+		wg.Add(1)
+		go func() { defer wg.Done(); d.run() }()
+	}
+	for _, q := range queriers {
+		wg.Add(1)
+		go func() { defer wg.Done(); q.run(ctx) }()
+	}
+
+	// Controller: read the first query to learn trace start, broadcast
+	// the time synchronization, then stream.
+	lanes := len(dists)
+	if cfg.DirectDistribution {
+		lanes = len(queriers)
+	}
+	router := newSticky(lanes)
+	var traceStart time.Time
+	started := false
+	readErr := func() error {
+		defer func() {
+			if cfg.DirectDistribution {
+				for _, q := range queriers {
+					close(q.in)
+				}
+			}
+			for _, d := range dists {
+				close(d.in)
+			}
+		}()
+		for {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			ev, err := input.Read()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+			if !ev.IsQuery() {
+				continue
+			}
+			if !started {
+				traceStart = ev.Time
+				realStart := time.Now()
+				for _, q := range queriers {
+					q.sync(traceStart, realStart)
+				}
+				started = true
+			}
+			it := item{ev: ev, offset: ev.Time.Sub(traceStart)}
+			if cfg.DirectDistribution {
+				queriers[router.pick(ev.Src.Addr())].in <- it
+			} else {
+				dists[router.pick(ev.Src.Addr())].in <- it
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	if readErr != nil && !errors.Is(readErr, context.Canceled) {
+		return nil, fmt.Errorf("replay: input: %w", readErr)
+	}
+
+	// Merge querier reports.
+	rep := &Report{}
+	var firstSend, lastSend time.Time
+	for _, q := range queriers {
+		qr := q.report()
+		rep.Sent += qr.sent
+		rep.Responses += qr.responses
+		rep.SendErrs += qr.sendErrs
+		rep.Timeouts += qr.timeouts
+		rep.ConnsOpened += qr.connsOpened
+		rep.BytesSent += qr.bytesSent
+		rep.Results = append(rep.Results, qr.results...)
+		if !qr.firstSend.IsZero() && (firstSend.IsZero() || qr.firstSend.Before(firstSend)) {
+			firstSend = qr.firstSend
+		}
+		if qr.lastSend.After(lastSend) {
+			lastSend = qr.lastSend
+		}
+	}
+	if !firstSend.IsZero() {
+		rep.Duration = lastSend.Sub(firstSend)
+	}
+	sort.Slice(rep.Results, func(i, j int) bool {
+		return rep.Results[i].TraceOffset < rep.Results[j].TraceOffset
+	})
+	return rep, nil
+}
+
+// distributor forwards items to queriers with same-source affinity; it
+// exists as a real pipeline stage (rather than a function call) because
+// the paper's design makes it one, and the ablation bench measures what
+// the extra hop costs.
+type distributor struct {
+	in       chan item
+	queriers []*querier
+	router   *sticky
+}
+
+func newDistributor(qs []*querier, depth int) *distributor {
+	return &distributor{
+		in:       make(chan item, depth),
+		queriers: qs,
+		router:   newSticky(len(qs)),
+	}
+}
+
+func (d *distributor) run() {
+	for it := range d.in {
+		d.queriers[d.router.pick(it.ev.Src.Addr())].in <- it
+	}
+	for _, q := range d.queriers {
+		close(q.in)
+	}
+}
+
+// sticky assigns sources to lanes: the first sighting picks the
+// least-loaded lane, later queries from the same source always follow —
+// the paper's "recent query source address in record" rule.
+type sticky struct {
+	assign map[netip.Addr]int
+	load   []int
+}
+
+func newSticky(n int) *sticky {
+	return &sticky{assign: make(map[netip.Addr]int), load: make([]int, n)}
+}
+
+func (s *sticky) pick(src netip.Addr) int {
+	if lane, ok := s.assign[src]; ok {
+		s.load[lane]++
+		return lane
+	}
+	best := 0
+	for i, l := range s.load {
+		if l < s.load[best] {
+			best = i
+		}
+		_ = i
+	}
+	s.assign[src] = best
+	s.load[best]++
+	return best
+}

@@ -1,0 +1,5 @@
+package replay
+
+import "io"
+
+var errEOF = io.EOF

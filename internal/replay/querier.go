@@ -1,0 +1,196 @@
+package replay
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// querier is the bottom of the distribution tree: it owns the sockets,
+// emulates query sources, schedules sends against the trace timeline and
+// matches responses. One goroutine runs the send loop; each socket has a
+// reader goroutine.
+type querier struct {
+	in  chan item
+	cfg Config
+
+	// Time synchronization (set once by the controller's broadcast).
+	syncOnce   sync.Once
+	traceStart time.Time
+	realStart  time.Time
+	// lastOffset supports the naive-timing ablation.
+	lastOffset time.Duration
+
+	// Sockets per emulated source.
+	udp     map[netip.Addr]*udpSock
+	streams map[netip.Addr]*streamConn
+
+	mu sync.Mutex // guards the result fields below (readers report in)
+	queryReport
+}
+
+// queryReport is the querier's accumulated outcome.
+type queryReport struct {
+	sent        uint64
+	responses   uint64
+	sendErrs    uint64
+	timeouts    uint64
+	connsOpened uint64
+	bytesSent   uint64
+	firstSend   time.Time
+	lastSend    time.Time
+	results     []QueryResult
+}
+
+func newQuerier(cfg Config) *querier {
+	return &querier{
+		in:      make(chan item, cfg.ChannelDepth),
+		cfg:     cfg,
+		udp:     make(map[netip.Addr]*udpSock),
+		streams: make(map[netip.Addr]*streamConn),
+	}
+}
+
+// sync delivers the controller's time synchronization broadcast: the
+// trace time t̄₁ and real time t₁ that every offset is measured against.
+func (q *querier) sync(traceStart, realStart time.Time) {
+	q.syncOnce.Do(func() {
+		q.traceStart = traceStart
+		q.realStart = realStart
+	})
+}
+
+func (q *querier) run(ctx context.Context) {
+	for it := range q.in {
+		if ctx.Err() != nil {
+			continue // drain without sending
+		}
+		if q.cfg.Mode == Timed {
+			var wait time.Duration
+			if q.cfg.NaiveTiming {
+				// Ablation: sleep the raw gap since the previous query,
+				// ignoring time already consumed — drift accumulates.
+				wait = it.offset - q.lastOffset
+				q.lastOffset = it.offset
+			} else {
+				// ΔTᵢ = Δt̄ᵢ − Δtᵢ: the trace-relative target minus the
+				// real time already consumed by input processing and
+				// distribution (the paper's continuous compensation).
+				wait = it.offset - time.Since(q.realStart)
+			}
+			if wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					continue
+				}
+			}
+			// Behind schedule (wait <= 0): send immediately, no timer.
+		}
+		q.send(it)
+	}
+	q.drain()
+}
+
+// send dispatches one query on the right socket for its source. The
+// result slot is reserved before the write so a response racing back on
+// loopback always finds it.
+func (q *querier) send(it item) {
+	now := time.Now()
+	idx := -1
+	if !q.cfg.DropResults {
+		q.mu.Lock()
+		q.results = append(q.results, QueryResult{
+			TraceOffset: it.offset,
+			SentOffset:  now.Sub(q.realStart),
+			RTT:         -1,
+			Proto:       it.ev.Proto,
+			Src:         it.ev.Src.Addr(),
+		})
+		idx = len(q.results) - 1
+		q.mu.Unlock()
+	}
+	var fresh bool
+	var err error
+	switch it.ev.Proto {
+	case trace.UDP:
+		err = q.sendUDP(it, idx)
+	default: // TCP and TLS share the stream path
+		fresh, err = q.sendStream(it, idx)
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if idx >= 0 {
+		q.results[idx].FreshConn = fresh
+	}
+	if err != nil {
+		q.sendErrs++
+		return
+	}
+	q.sent++
+	q.bytesSent += uint64(len(it.ev.Wire))
+	if q.firstSend.IsZero() {
+		q.firstSend = now
+	}
+	q.lastSend = now
+}
+
+// recordResponse is called from socket reader goroutines.
+func (q *querier) recordResponse(resultIdx int, rtt time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.responses++
+	if !q.cfg.DropResults && resultIdx >= 0 && resultIdx < len(q.results) {
+		q.results[resultIdx].RTT = rtt
+	}
+}
+
+// drain waits for outstanding responses, then closes sockets.
+func (q *querier) drain() {
+	deadline := time.Now().Add(q.cfg.ResponseTimeout)
+	for time.Now().Before(deadline) {
+		if q.outstanding() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	q.mu.Lock()
+	q.timeouts += uint64(q.outstandingLocked())
+	q.mu.Unlock()
+	for _, s := range q.udp {
+		s.close()
+	}
+	for _, s := range q.streams {
+		s.close()
+	}
+}
+
+func (q *querier) outstanding() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.outstandingLocked()
+}
+
+func (q *querier) outstandingLocked() int {
+	n := 0
+	for _, s := range q.udp {
+		n += s.pendingCount()
+	}
+	for _, s := range q.streams {
+		n += s.pendingCount()
+	}
+	return n
+}
+
+// report returns the merged outcome after run() finishes.
+func (q *querier) report() queryReport {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queryReport
+}

@@ -1,0 +1,129 @@
+// Package replay implements LDplayer's distributed query replay system
+// (paper §2.6 and §3): a Controller whose Reader pre-loads the query
+// stream and whose Postman distributes it, Distributors that fan queries
+// out, and Queriers that emulate query sources over UDP, TCP and TLS
+// sockets with connection reuse. Queries are scheduled against the
+// original trace timeline by continuously compensating accumulated
+// pipeline delay (ΔTᵢ = Δt̄ᵢ − Δtᵢ); fast mode drops timing for load
+// tests. Same-source queries stick to the same querier and the same
+// socket, the dependency the paper preserves because it drives
+// DNS-over-TCP connection reuse.
+package replay
+
+import (
+	"crypto/tls"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// Mode selects replay pacing.
+type Mode int
+
+// Pacing modes.
+const (
+	// Timed replays queries at their trace times (the default).
+	Timed Mode = iota
+	// FastAsPossible ignores timing and sends as fast as the pipeline
+	// moves — the paper's load-test option and §4.3 throughput setup.
+	FastAsPossible
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Server is the target for UDP and TCP queries.
+	Server netip.AddrPort
+	// TLSServer is the target for TLS queries (defaults to Server).
+	TLSServer netip.AddrPort
+	// TLSConfig enables DNS-over-TLS queriers.
+	TLSConfig *tls.Config
+
+	// Distributors is the fan-out width at the first level (default 1).
+	Distributors int
+	// QueriersPerDistributor is the second-level width (default 4).
+	QueriersPerDistributor int
+
+	Mode Mode
+
+	// ConnIdleTimeout closes idle TCP/TLS connections at the querier; the
+	// paper's queriers "may close them after a pre-set timeout".
+	ConnIdleTimeout time.Duration
+	// ResponseTimeout bounds how long the engine waits for outstanding
+	// responses after the last query is sent.
+	ResponseTimeout time.Duration
+	// ChannelDepth is the per-stage buffer (the Reader's pre-load window).
+	ChannelDepth int
+	// DropResults disables per-query result recording (throughput runs
+	// replaying tens of millions of queries don't want the memory).
+	DropResults bool
+
+	// NaiveTiming disables the paper's accumulated-delay compensation
+	// (ΔTᵢ = Δt̄ᵢ − Δtᵢ) and sleeps raw inter-arrival gaps instead. Only
+	// for the ablation bench: pipeline delay then accumulates as drift.
+	NaiveTiming bool
+	// DirectDistribution bypasses the distributor stage (one-level
+	// controller→querier fan-out) for the coordination-overhead ablation.
+	DirectDistribution bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Distributors <= 0 {
+		c.Distributors = 1
+	}
+	if c.QueriersPerDistributor <= 0 {
+		c.QueriersPerDistributor = 4
+	}
+	if c.ConnIdleTimeout <= 0 {
+		c.ConnIdleTimeout = 20 * time.Second
+	}
+	if c.ResponseTimeout <= 0 {
+		c.ResponseTimeout = 2 * time.Second
+	}
+	if c.ChannelDepth <= 0 {
+		c.ChannelDepth = 1024
+	}
+	if !c.TLSServer.IsValid() {
+		c.TLSServer = c.Server
+	}
+	return c
+}
+
+// QueryResult records one replayed query for the accuracy evaluation.
+type QueryResult struct {
+	// TraceOffset is when the trace wanted the query sent (relative to
+	// the first query).
+	TraceOffset time.Duration
+	// SentOffset is when the querier actually sent it.
+	SentOffset time.Duration
+	// RTT is the query-to-response latency, or -1 if no response arrived.
+	RTT time.Duration
+	// Proto is the transport used.
+	Proto trace.Proto
+	// Src is the original trace source address the querier emulated.
+	Src netip.Addr
+	// FreshConn marks stream queries that had to open a new connection
+	// (false = connection reuse hit).
+	FreshConn bool
+}
+
+// Report summarizes one replay run.
+type Report struct {
+	Results   []QueryResult
+	Sent      uint64
+	Responses uint64
+	SendErrs  uint64
+	Timeouts  uint64
+	// ConnsOpened counts TCP/TLS connections the queriers created.
+	ConnsOpened uint64
+	// Duration is wall-clock time from first to last send.
+	Duration time.Duration
+	// BytesSent counts query payload bytes.
+	BytesSent uint64
+}
+
+// item is one unit of work flowing controller -> distributor -> querier.
+type item struct {
+	ev     *trace.Event
+	offset time.Duration // trace time relative to trace start
+}

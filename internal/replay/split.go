@@ -1,0 +1,105 @@
+package replay
+
+import (
+	"io"
+	"net/netip"
+	"sync"
+
+	"ldplayer/internal/trace"
+)
+
+// SplitInput partitions one query stream into n sub-streams with
+// same-source affinity, the paper's answer to a controller-CPU
+// bottleneck: "If the input trace is extremely fast ... we can split
+// input stream to feed multiple controllers" (§2.6). Each sub-stream is
+// a trace.Reader usable as a separate controller's input; a source
+// address always lands in the same sub-stream, preserving the affinity
+// chain end to end.
+//
+// The splitter reads ahead from the shared input under a lock, so
+// sub-streams may be consumed from different goroutines.
+func SplitInput(input trace.Reader, n int) []trace.Reader {
+	if n <= 1 {
+		return []trace.Reader{input}
+	}
+	s := &splitter{
+		input:  input,
+		router: newSticky(n),
+		queues: make([]chan *trace.Event, n),
+	}
+	out := make([]trace.Reader, n)
+	for i := range out {
+		s.queues[i] = make(chan *trace.Event, 1024)
+		out[i] = &splitStream{s: s, lane: i}
+	}
+	return out
+}
+
+type splitter struct {
+	mu     sync.Mutex
+	input  trace.Reader
+	router *sticky
+	queues []chan *trace.Event
+	err    error
+	done   bool
+}
+
+// pump reads from the shared input until the requested lane has data or
+// the input ends. It runs under the splitter lock; queued events for
+// other lanes wait in their channels.
+func (s *splitter) next(lane int) (*trace.Event, error) {
+	for {
+		select {
+		case ev := <-s.queues[lane]:
+			return ev, nil
+		default:
+		}
+		s.mu.Lock()
+		// Another consumer may have filled our queue while we waited.
+		select {
+		case ev := <-s.queues[lane]:
+			s.mu.Unlock()
+			return ev, nil
+		default:
+		}
+		if s.done {
+			err := s.err
+			s.mu.Unlock()
+			if err == nil {
+				err = io.EOF
+			}
+			return nil, err
+		}
+		ev, err := s.input.Read()
+		if err != nil {
+			s.done = true
+			if err != io.EOF {
+				s.err = err
+			}
+			s.mu.Unlock()
+			continue
+		}
+		target := s.router.pick(srcOf(ev))
+		if target == lane {
+			s.mu.Unlock()
+			return ev, nil
+		}
+		// Queue for the owning lane; drop if that lane is hopelessly
+		// behind (bounded memory beats unbounded buffering; a real
+		// deployment sizes lanes to drain).
+		select {
+		case s.queues[target] <- ev:
+		default:
+		}
+		s.mu.Unlock()
+	}
+}
+
+func srcOf(ev *trace.Event) netip.Addr { return ev.Src.Addr() }
+
+type splitStream struct {
+	s    *splitter
+	lane int
+}
+
+func (ss *splitStream) Read() (*trace.Event, error) { return ss.s.next(ss.lane) }

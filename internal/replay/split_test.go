@@ -1,0 +1,82 @@
+package replay
+
+import (
+	"io"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+)
+
+func TestSplitInputAffinityAndCompleteness(t *testing.T) {
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration: 5 * time.Second, MedianRate: 200, Clients: 50, Seed: 33,
+	})
+	total := len(tr.Events)
+	streams := SplitInput(&sliceReader{events: tr.Events}, 3)
+	if len(streams) != 3 {
+		t.Fatalf("streams=%d", len(streams))
+	}
+
+	var mu sync.Mutex
+	laneOf := map[netip.Addr]int{}
+	counts := make([]int, 3)
+	var wg sync.WaitGroup
+	for lane, r := range streams {
+		wg.Add(1)
+		go func(lane int, r trace.Reader) {
+			defer wg.Done()
+			for {
+				ev, err := r.Read()
+				if err != nil {
+					if err != io.EOF {
+						t.Errorf("lane %d: %v", lane, err)
+					}
+					return
+				}
+				mu.Lock()
+				counts[lane]++
+				src := ev.Src.Addr()
+				if prev, ok := laneOf[src]; ok && prev != lane {
+					t.Errorf("source %v seen on lanes %d and %d", src, prev, lane)
+				}
+				laneOf[src] = lane
+				mu.Unlock()
+			}
+		}(lane, r)
+	}
+	wg.Wait()
+	got := counts[0] + counts[1] + counts[2]
+	if got != total {
+		t.Fatalf("delivered %d of %d events", got, total)
+	}
+	// All lanes participate.
+	for lane, c := range counts {
+		if c == 0 {
+			t.Errorf("lane %d received nothing", lane)
+		}
+	}
+}
+
+func TestSplitInputSingleLanePassThrough(t *testing.T) {
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: time.Millisecond, Duration: 10 * time.Millisecond, Clients: 2, Seed: 1,
+	})
+	streams := SplitInput(&sliceReader{events: tr.Events}, 1)
+	if len(streams) != 1 {
+		t.Fatalf("streams=%d", len(streams))
+	}
+	n := 0
+	for {
+		if _, err := streams[0].Read(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != len(tr.Events) {
+		t.Fatalf("passthrough delivered %d of %d", n, len(tr.Events))
+	}
+}

@@ -1,0 +1,96 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+// The recursive replay mode of the paper's Fig 1: the query engine sends
+// stub queries to a recursive server, which resolves them through the
+// (emulated) hierarchy. This file is that recursive server's front end.
+
+// HandleStub answers one stub query: cache or iterative resolution.
+// It is transport-independent; ServeUDP wraps it for the wire.
+func (r *Resolver) HandleStub(ctx context.Context, req *dnsmsg.Msg) *dnsmsg.Msg {
+	resp := &dnsmsg.Msg{}
+	resp.SetReply(req)
+	resp.RecursionAvailable = true
+	if req.Opcode != dnsmsg.OpcodeQuery || len(req.Question) != 1 {
+		resp.Rcode = dnsmsg.RcodeNotImpl
+		return resp
+	}
+	q := req.Question[0]
+	if q.Class != dnsmsg.ClassINET {
+		resp.Rcode = dnsmsg.RcodeNotImpl
+		return resp
+	}
+	m, err := r.Resolve(ctx, q.Name, q.Type)
+	if err != nil {
+		resp.Rcode = dnsmsg.RcodeServFail
+		return resp
+	}
+	resp.Rcode = m.Rcode
+	resp.Answer = m.Answer
+	resp.Authority = m.Authority
+	if size, do, ok := req.EDNS(); ok {
+		_ = size
+		resp.SetEDNS(dnsmsg.DefaultEDNSUDP, do)
+	}
+	return resp
+}
+
+// ServeUDP answers stub queries on conn until ctx ends. Each query
+// resolves in its own goroutine (bounded), since one slow upstream walk
+// must not head-of-line-block the rest — recursive servers are
+// concurrent by nature.
+func (r *Resolver) ServeUDP(ctx context.Context, conn net.PacketConn, maxInflight int) error {
+	if maxInflight <= 0 {
+		maxInflight = 256
+	}
+	sem := make(chan struct{}, maxInflight)
+	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	defer stop()
+	var inflight atomic.Int64
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Drain in-flight work before returning.
+				for inflight.Load() > 0 {
+					time.Sleep(time.Millisecond)
+				}
+				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return err
+		}
+		req := &dnsmsg.Msg{}
+		if err := req.Unpack(buf[:n]); err != nil {
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			continue
+		}
+		inflight.Add(1)
+		go func(req *dnsmsg.Msg, addr net.Addr) {
+			defer func() { <-sem; inflight.Add(-1) }()
+			resp := r.HandleStub(ctx, req)
+			wire, err := resp.Pack()
+			if err != nil {
+				return
+			}
+			conn.WriteTo(wire, addr)
+		}(req, addr)
+	}
+}

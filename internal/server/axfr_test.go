@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/zone"
+	"ldplayer/internal/zonegen"
+)
+
+func axfrServer(t *testing.T, z *zone.Zone) (net.Conn, func()) {
+	t.Helper()
+	s := New(Config{TCPIdleTimeout: 5 * time.Second})
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go s.ServeTCP(ctx, ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, func() { conn.Close(); cancel(); ln.Close() }
+}
+
+func TestAXFRRoundTrip(t *testing.T) {
+	orig := zonegen.RootZone(nil)
+	conn, stop := axfrServer(t, orig)
+	defer stop()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	got, err := FetchAXFR(conn, dnsmsg.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RecordCount() != orig.RecordCount() {
+		t.Fatalf("transferred %d records, want %d", got.RecordCount(), orig.RecordCount())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("transferred zone invalid: %v", err)
+	}
+	// Lookups agree across the transfer.
+	for _, q := range []dnsmsg.Name{"www.dom1.com.", "a.nic.org.", "."} {
+		a1 := orig.Query(q, dnsmsg.TypeA, false)
+		a2 := got.Query(q, dnsmsg.TypeA, false)
+		if a1.Result != a2.Result {
+			t.Errorf("%s: %v vs %v", q, a1.Result, a2.Result)
+		}
+	}
+}
+
+func TestAXFRChunking(t *testing.T) {
+	// A zone bigger than one chunk: verify multi-message transfers.
+	z := zone.New("big.test.")
+	z.Add(dnsmsg.RR{Name: "big.test.", Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: dnsmsg.SOA{MName: "ns.big.test.", RName: "h.big.test.", Serial: 1, Refresh: 1, Retry: 1, Expire: 1, Minimum: 1}})
+	z.Add(dnsmsg.RR{Name: "big.test.", Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: dnsmsg.NS{Host: "ns.big.test."}})
+	for i := 0; i < 3*axfrChunkRecords; i++ {
+		z.Add(dnsmsg.RR{
+			Name: dnsmsg.MustParseName(string(rune('a'+i%26)) + "x" + itoa(i) + ".big.test."),
+			Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 60,
+			Data: dnsmsg.A{Addr: netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})},
+		})
+	}
+	conn, stop := axfrServer(t, z)
+	defer stop()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	got, err := FetchAXFR(conn, "big.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RecordCount() != z.RecordCount() {
+		t.Fatalf("transferred %d records, want %d", got.RecordCount(), z.RecordCount())
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestAXFRRefusedForUnknownZone(t *testing.T) {
+	conn, stop := axfrServer(t, zonegen.WildcardZone("example.com."))
+	defer stop()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := FetchAXFR(conn, "other.org."); err == nil {
+		t.Fatal("transfer of unknown zone succeeded")
+	}
+}
+
+func TestAXFRSignedZoneCarriesDNSSEC(t *testing.T) {
+	h, err := zonegen.Generate(zonegen.Config{TLDs: []string{"com"}, SLDsPerTLD: 1, Seed: 9, Sign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, stop := axfrServer(t, h.Root)
+	defer stop()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	got, err := FetchAXFR(conn, dnsmsg.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Lookup(dnsmsg.Root, dnsmsg.TypeDNSKEY); !ok {
+		t.Error("transferred zone lost its DNSKEYs")
+	}
+	if _, ok := got.Sigs(dnsmsg.Root, dnsmsg.TypeSOA); !ok {
+		t.Error("transferred zone lost its RRSIGs")
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"math/big"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+// ServeUDP answers queries on conn until ctx is cancelled. It runs the
+// configured number of worker goroutines reading from the shared socket;
+// event-style workers keep per-query state minimal (the paper's §3
+// design note).
+func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	done := make(chan error, s.cfg.UDPWorkers)
+	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	defer stop()
+	for i := 0; i < s.cfg.UDPWorkers; i++ {
+		go func() { done <- s.udpWorker(ctx, conn) }()
+	}
+	var firstErr error
+	for i := 0; i < s.cfg.UDPWorkers; i++ {
+		if err := <-done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return firstErr
+}
+
+func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
+	buf := make([]byte, 64*1024)
+	var req dnsmsg.Msg
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.stats.bytesIn.Add(uint64(n))
+		s.stats.udpQueries.Add(1)
+		if err := req.Unpack(buf[:n]); err != nil {
+			continue // malformed datagrams are dropped, as servers do
+		}
+		src := addrOf(addr)
+		resp := s.HandleQuery(src, &req, s.cfg.MaxUDPSize)
+		switch s.cfg.RRL.Check(src) {
+		case Drop:
+			continue
+		case Slip:
+			// Truncated-empty response: legitimate clients retry over
+			// TCP; reflection targets get no amplification.
+			resp.Truncated = true
+			resp.Answer, resp.Authority, resp.Additional = nil, nil, nil
+		}
+		wire, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		if _, err := conn.WriteTo(wire, addr); err == nil {
+			s.stats.bytesOut.Add(uint64(len(wire)))
+		}
+	}
+}
+
+// ServeTCP accepts stream connections until ctx is cancelled, answering
+// length-prefixed queries and closing connections idle longer than the
+// configured timeout — the behaviour the TCP experiments sweep.
+func (s *Server) ServeTCP(ctx context.Context, ln net.Listener) error {
+	return s.serveStream(ctx, ln, &s.stats.tcpConnsOpen, &s.stats.tcpConnsTotal, &s.stats.tcpQueries)
+}
+
+// ServeTLS wraps ln with the given TLS config (see SelfSignedTLS) and
+// serves it like TCP.
+func (s *Server) ServeTLS(ctx context.Context, ln net.Listener, cfg *tls.Config) error {
+	return s.serveStream(ctx, tls.NewListener(ln, cfg), &s.stats.tlsConnsOpen, &s.stats.tlsConnsTotal, &s.stats.tlsQueries)
+}
+
+func (s *Server) serveStream(ctx context.Context, ln net.Listener, open *atomic.Int64, total, queries *atomic.Uint64) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		total.Add(1)
+		open.Add(1)
+		go func() {
+			defer open.Add(-1)
+			defer conn.Close()
+			s.streamConn(ctx, conn, queries)
+		}()
+	}
+}
+
+func (s *Server) streamConn(ctx context.Context, conn net.Conn, queries *atomic.Uint64) {
+	var req dnsmsg.Msg
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.TCPIdleTimeout))
+		wire, err := dnsmsg.ReadTCPMsg(conn)
+		if err != nil {
+			return // idle timeout, client close, or malformed framing
+		}
+		s.stats.bytesIn.Add(uint64(len(wire) + 2))
+		queries.Add(1)
+		if err := req.Unpack(wire); err != nil {
+			return
+		}
+		src := addrOf(conn.RemoteAddr())
+		if len(req.Question) == 1 && req.Question[0].Type == dnsmsg.TypeAXFR &&
+			req.Opcode == dnsmsg.OpcodeQuery {
+			s.stats.queries.Add(1)
+			if err := s.handleAXFR(src, &req, conn); err != nil {
+				return
+			}
+			continue
+		}
+		resp := s.HandleQuery(src, &req, 0)
+		out, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		if err := dnsmsg.WriteTCPMsg(conn, out); err != nil {
+			return
+		}
+		s.stats.bytesOut.Add(uint64(len(out) + 2))
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// addrOf extracts the IP from a net.Addr of any flavor.
+func addrOf(a net.Addr) netip.Addr {
+	switch v := a.(type) {
+	case *net.UDPAddr:
+		ap := v.AddrPort()
+		return ap.Addr().Unmap()
+	case *net.TCPAddr:
+		ap := v.AddrPort()
+		return ap.Addr().Unmap()
+	}
+	if ap, err := netip.ParseAddrPort(a.String()); err == nil {
+		return ap.Addr().Unmap()
+	}
+	return netip.Addr{}
+}
+
+// SelfSignedTLS builds a TLS config with a fresh ECDSA P-256 certificate
+// for the given host names/IPs, plus a client config that trusts it.
+// Experiments use it so DNS-over-TLS runs with real handshakes and real
+// record framing without any external PKI.
+func SelfSignedTLS(hosts ...string) (serverCfg, clientCfg *tls.Config, err error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "ldplayer-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		KeyUsage:              x509.KeyUsageKeyEncipherment | x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &priv.PublicKey, priv)
+	if err != nil {
+		return nil, nil, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, nil, err
+	}
+	cert := tls.Certificate{Certificate: [][]byte{der}, PrivateKey: priv, Leaf: leaf}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	serverCfg = &tls.Config{Certificates: []tls.Certificate{cert}}
+	clientCfg = &tls.Config{RootCAs: pool, ServerName: firstOr(hosts, "ldplayer-test")}
+	return serverCfg, clientCfg, nil
+}
+
+func firstOr(ss []string, def string) string {
+	if len(ss) > 0 {
+		return ss[0]
+	}
+	return def
+}

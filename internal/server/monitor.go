@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"ldplayer/internal/metrics"
+)
+
+// Monitor samples the live server's resource footprint the way the
+// paper's scripts polled top, ps and netstat: process memory, open
+// connection counts and query counters, each into a time series. Use it
+// around live replays; the simulated runs get the same series from
+// internal/netsim.
+type Monitor struct {
+	// Memory is the Go heap in use (bytes) — the live analogue of the
+	// paper's per-process RSS.
+	Memory metrics.TimeSeries
+	// TCPConns and TLSConns are currently-established connection counts.
+	TCPConns metrics.TimeSeries
+	TLSConns metrics.TimeSeries
+	// QueryRate is queries answered per sample interval, per second.
+	QueryRate metrics.TimeSeries
+	// BytesOutRate is response bandwidth in bits/second per interval.
+	BytesOutRate metrics.TimeSeries
+}
+
+// Watch samples srv every interval until ctx ends, then returns the
+// collected series.
+func Watch(ctx context.Context, srv *Server, interval time.Duration) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m := &Monitor{}
+	start := time.Now()
+	var lastQ, lastB uint64
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return m
+		case <-tick.C:
+			at := time.Since(start)
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			st := srv.Stats()
+			m.Memory.Add(at, float64(ms.HeapInuse+ms.StackInuse))
+			m.TCPConns.Add(at, float64(st.TCPConnsOpen))
+			m.TLSConns.Add(at, float64(st.TLSConnsOpen))
+			m.QueryRate.Add(at, float64(st.Queries-lastQ)/interval.Seconds())
+			m.BytesOutRate.Add(at, float64(st.BytesOut-lastB)*8/interval.Seconds())
+			lastQ, lastB = st.Queries, st.BytesOut
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+func TestWatchSamplesLiveServer(t *testing.T) {
+	s := New(Config{UDPWorkers: 1})
+	if err := s.AddZone(mustParse(t, exampleComZone)); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.ServeUDP(ctx, pc)
+
+	mctx, mcancel := context.WithCancel(context.Background())
+	monDone := make(chan *Monitor, 1)
+	go func() { monDone <- Watch(mctx, s, 50*time.Millisecond) }()
+
+	// Drive some traffic across a few sample intervals.
+	c, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	wire, _ := query("www.example.com.", dnsmsg.TypeA).Pack()
+	buf := make([]byte, 512)
+	for i := 0; i < 40; i++ {
+		c.Write(wire)
+		c.SetReadDeadline(time.Now().Add(time.Second))
+		c.Read(buf)
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(120 * time.Millisecond)
+	mcancel()
+	mon := <-monDone
+
+	if len(mon.Memory.Values) < 2 {
+		t.Fatalf("samples=%d", len(mon.Memory.Values))
+	}
+	if mon.Memory.Last() <= 0 {
+		t.Error("no memory measured")
+	}
+	// Query rate was nonzero in at least one interval.
+	sawTraffic := false
+	for _, v := range mon.QueryRate.Values {
+		if v > 0 {
+			sawTraffic = true
+		}
+	}
+	if !sawTraffic {
+		t.Error("monitor saw no query traffic")
+	}
+	sawBytes := false
+	for _, v := range mon.BytesOutRate.Values {
+		if v > 0 {
+			sawBytes = true
+		}
+	}
+	if !sawBytes {
+		t.Error("monitor saw no response bytes")
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// RRL implements response-rate limiting, the defense root and TLD
+// operators deploy against reflection floods (DNS RRL, Vixie/Schryver).
+// Responses to a client prefix beyond the configured rate are either
+// dropped or "slipped" — answered with a truncated (TC) response that
+// pushes legitimate clients to TCP while giving amplification attackers
+// nothing. LDplayer experiments use it to study server behaviour under
+// the DoS workloads the paper motivates.
+type RRL struct {
+	// ResponsesPerSecond is the per-prefix budget (0 disables RRL).
+	ResponsesPerSecond int
+	// Slip answers every Nth rate-limited query with a TC=1 response
+	// instead of dropping it (0 = drop all limited queries).
+	Slip int
+	// PrefixBits aggregates clients into prefixes (default /24).
+	PrefixBits int
+	// Window is the accounting window (default 1 s).
+	Window time.Duration
+
+	mu      sync.Mutex
+	buckets map[netip.Prefix]*rrlBucket
+	slipped uint64
+	dropped uint64
+	now     func() time.Time
+}
+
+type rrlBucket struct {
+	windowStart time.Time
+	count       int
+	slipCounter int
+}
+
+// Verdict is RRL's decision for one response.
+type Verdict int
+
+// RRL verdicts.
+const (
+	// Answer sends the response normally.
+	Answer Verdict = iota
+	// Slip sends a truncated response (retry over TCP).
+	Slip
+	// Drop sends nothing.
+	Drop
+)
+
+// NewRRL creates a limiter; rps <= 0 disables limiting.
+func NewRRL(rps, slip int) *RRL {
+	return &RRL{
+		ResponsesPerSecond: rps,
+		Slip:               slip,
+		PrefixBits:         24,
+		Window:             time.Second,
+		buckets:            make(map[netip.Prefix]*rrlBucket),
+		now:                time.Now,
+	}
+}
+
+// Check accounts one response to src and returns the verdict.
+func (r *RRL) Check(src netip.Addr) Verdict {
+	if r == nil || r.ResponsesPerSecond <= 0 {
+		return Answer
+	}
+	bits := r.PrefixBits
+	if src.Is6() && bits == 24 {
+		bits = 56 // conventional v6 aggregation
+	}
+	prefix, err := src.Prefix(bits)
+	if err != nil {
+		return Answer
+	}
+	now := r.now()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.buckets[prefix]
+	if b == nil {
+		b = &rrlBucket{windowStart: now}
+		r.buckets[prefix] = b
+		// Opportunistic cleanup bound: a flood of spoofed prefixes must
+		// not grow the table without limit.
+		if len(r.buckets) > 1<<16 {
+			for p, old := range r.buckets {
+				if now.Sub(old.windowStart) > 2*r.Window {
+					delete(r.buckets, p)
+				}
+			}
+		}
+	}
+	if now.Sub(b.windowStart) >= r.Window {
+		b.windowStart = now
+		b.count = 0
+	}
+	b.count++
+	if b.count <= r.ResponsesPerSecond {
+		return Answer
+	}
+	if r.Slip > 0 {
+		b.slipCounter++
+		if b.slipCounter%r.Slip == 0 {
+			r.slipped++
+			return Slip
+		}
+	}
+	r.dropped++
+	return Drop
+}
+
+// Stats reports slipped/dropped counts since creation.
+func (r *RRL) Stats() (slipped, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slipped, r.dropped
+}

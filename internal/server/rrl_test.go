@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+func TestRRLBudgetAndWindow(t *testing.T) {
+	r := NewRRL(5, 0)
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+	src := netip.MustParseAddr("203.0.113.7")
+	for i := 0; i < 5; i++ {
+		if v := r.Check(src); v != Answer {
+			t.Fatalf("query %d: verdict=%v", i, v)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if v := r.Check(src); v != Drop {
+			t.Fatalf("over budget: verdict=%v", v)
+		}
+	}
+	// A new window refills the budget.
+	now = now.Add(time.Second)
+	if v := r.Check(src); v != Answer {
+		t.Fatalf("after window: verdict=%v", v)
+	}
+	_, dropped := r.Stats()
+	if dropped != 3 {
+		t.Errorf("dropped=%d", dropped)
+	}
+}
+
+func TestRRLSlip(t *testing.T) {
+	r := NewRRL(1, 2) // every 2nd limited query slips
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+	src := netip.MustParseAddr("203.0.113.7")
+	if r.Check(src) != Answer {
+		t.Fatal("first answer limited")
+	}
+	verdicts := []Verdict{}
+	for i := 0; i < 4; i++ {
+		verdicts = append(verdicts, r.Check(src))
+	}
+	slips, drops := 0, 0
+	for _, v := range verdicts {
+		switch v {
+		case Slip:
+			slips++
+		case Drop:
+			drops++
+		case Answer:
+			t.Fatal("limited query answered")
+		}
+	}
+	if slips != 2 || drops != 2 {
+		t.Errorf("slips=%d drops=%d", slips, drops)
+	}
+}
+
+func TestRRLAggregatesPrefix(t *testing.T) {
+	r := NewRRL(5, 0)
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+	// Two hosts in the same /24 share one bucket.
+	a := netip.MustParseAddr("203.0.113.7")
+	b := netip.MustParseAddr("203.0.113.99")
+	for i := 0; i < 5; i++ {
+		r.Check(a)
+	}
+	if v := r.Check(b); v != Drop {
+		t.Errorf("same-prefix host not limited: %v", v)
+	}
+	// A different /24 has its own budget.
+	if v := r.Check(netip.MustParseAddr("203.0.114.1")); v != Answer {
+		t.Errorf("other prefix limited: %v", v)
+	}
+}
+
+func TestRRLDisabled(t *testing.T) {
+	var r *RRL
+	if r.Check(netip.MustParseAddr("1.2.3.4")) != Answer {
+		t.Error("nil RRL limited")
+	}
+	r = NewRRL(0, 0)
+	for i := 0; i < 1000; i++ {
+		if r.Check(netip.MustParseAddr("1.2.3.4")) != Answer {
+			t.Fatal("disabled RRL limited")
+		}
+	}
+}
+
+// TestRRLLiveUDP: with RRL on the UDP path, a flooding client gets
+// slipped/dropped while the first responses still arrive.
+func TestRRLLiveUDP(t *testing.T) {
+	s := New(Config{UDPWorkers: 1, RRL: NewRRL(10, 2)})
+	if err := s.AddZone(mustParse(t, exampleComZone)); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.ServeUDP(ctx, pc)
+
+	c, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	wire, _ := query("www.example.com.", dnsmsg.TypeA).Pack()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := c.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	answers, truncated := 0, 0
+	buf := make([]byte, 4096)
+	for {
+		c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		rn, err := c.Read(buf)
+		if err != nil {
+			break
+		}
+		var m dnsmsg.Msg
+		if err := m.Unpack(buf[:rn]); err != nil {
+			continue
+		}
+		if m.Truncated {
+			truncated++
+		} else {
+			answers++
+		}
+	}
+	if answers == 0 {
+		t.Error("all responses limited (budget should allow the first 10)")
+	}
+	if answers+truncated >= n {
+		t.Errorf("nothing limited: %d answers + %d slips of %d", answers, truncated, n)
+	}
+	if truncated == 0 {
+		t.Error("no slipped (TC) responses seen")
+	}
+}

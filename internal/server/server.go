@@ -1,0 +1,200 @@
+// Package server implements the authoritative DNS server at the heart of
+// LDplayer's hierarchy emulation: a single server instance ("meta-DNS-
+// server") that hosts many zones behind split-horizon views and answers
+// as if each zone lived on its own machine. It listens on UDP, TCP and
+// TLS with configurable idle timeouts — the knobs the paper's §5.2
+// experiments sweep.
+package server
+
+import (
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/zone"
+)
+
+// View is one split-horizon view: a client-address match plus the zones
+// served to clients that match. With proxy rewriting, the "client
+// address" seen here is the original query destination address (OQDA),
+// so matching on it selects the hierarchy level the query was aimed at —
+// the paper's core trick (§2.4).
+type View struct {
+	Name  string
+	Zones *ZoneSet
+
+	addrs    map[netip.Addr]bool
+	prefixes []netip.Prefix
+	matchAll bool
+}
+
+// NewView creates a view matching the given addresses and prefixes.
+// With neither, the view matches every client (a default view).
+func NewView(name string, addrs []netip.Addr, prefixes []netip.Prefix) *View {
+	v := &View{Name: name, Zones: NewZoneSet(), prefixes: prefixes,
+		matchAll: len(addrs) == 0 && len(prefixes) == 0}
+	if len(addrs) > 0 {
+		v.addrs = make(map[netip.Addr]bool, len(addrs))
+		for _, a := range addrs {
+			v.addrs[a] = true
+		}
+	}
+	return v
+}
+
+// Matches reports whether a client at src selects this view.
+func (v *View) Matches(src netip.Addr) bool {
+	if v.matchAll {
+		return true
+	}
+	if v.addrs[src] {
+		return true
+	}
+	for _, p := range v.prefixes {
+		if p.Contains(src) {
+			return true
+		}
+	}
+	return false
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// TCPIdleTimeout closes idle TCP/TLS connections (paper: 5–40 s).
+	TCPIdleTimeout time.Duration
+	// UDPWorkers is the number of UDP handler goroutines (default 4).
+	UDPWorkers int
+	// MaxUDPSize caps UDP responses when the client sends no EDNS.
+	MaxUDPSize int
+	// RRL, when set, rate-limits UDP responses per client prefix
+	// (reflection-flood defense; see NewRRL).
+	RRL *RRL
+}
+
+// Server answers authoritative DNS queries from its views.
+type Server struct {
+	cfg   Config
+	views []*View
+	stats Stats
+}
+
+// New creates a server with no views; add at least one before serving.
+func New(cfg Config) *Server {
+	if cfg.TCPIdleTimeout == 0 {
+		cfg.TCPIdleTimeout = 20 * time.Second
+	}
+	if cfg.UDPWorkers == 0 {
+		cfg.UDPWorkers = 4
+	}
+	if cfg.MaxUDPSize == 0 {
+		cfg.MaxUDPSize = dnsmsg.MaxUDPSize
+	}
+	return &Server{cfg: cfg}
+}
+
+// AddView appends a view; views match in registration order.
+func (s *Server) AddView(v *View) { s.views = append(s.views, v) }
+
+// AddZone adds a zone to a match-all default view (single-horizon use).
+func (s *Server) AddZone(z *zone.Zone) error {
+	if len(s.views) == 0 || !s.views[len(s.views)-1].matchAll {
+		s.AddView(NewView("default", nil, nil))
+	}
+	return s.views[len(s.views)-1].Zones.Add(z)
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() StatsSnapshot { return s.stats.Snapshot() }
+
+// viewFor selects the first matching view.
+func (s *Server) viewFor(src netip.Addr) *View {
+	for _, v := range s.views {
+		if v.Matches(src) {
+			return v
+		}
+	}
+	return nil
+}
+
+// HandleQuery is the transport-independent core: it answers one query
+// from a client at src. maxSize caps the response (UDP truncation); pass
+// 0 for stream transports. The returned message is never nil.
+func (s *Server) HandleQuery(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg {
+	s.stats.queries.Add(1)
+	resp := &dnsmsg.Msg{}
+	resp.SetReply(req)
+
+	if req.Opcode != dnsmsg.OpcodeQuery || len(req.Question) != 1 {
+		resp.Rcode = dnsmsg.RcodeNotImpl
+		return resp
+	}
+	q := req.Question[0]
+	if q.Class != dnsmsg.ClassINET && q.Class != dnsmsg.ClassANY {
+		resp.Rcode = dnsmsg.RcodeNotImpl
+		return resp
+	}
+
+	udpSize, do, hasEDNS := req.EDNS()
+
+	v := s.viewFor(src)
+	if v == nil {
+		resp.Rcode = dnsmsg.RcodeRefused
+		s.stats.refused.Add(1)
+		return resp
+	}
+	z, ok := v.Zones.Find(q.Name)
+	if !ok {
+		resp.Rcode = dnsmsg.RcodeRefused
+		s.stats.refused.Add(1)
+		return resp
+	}
+
+	ans := z.Query(q.Name, q.Type, do)
+	resp.Rcode = ans.Rcode
+	resp.Answer = ans.Answer
+	resp.Authority = ans.Authority
+	resp.Additional = ans.Additional
+	switch ans.Result {
+	case zone.ResultAnswer, zone.ResultNoData, zone.ResultNXDomain:
+		resp.Authoritative = true
+	default:
+		resp.Authoritative = false
+	}
+	if hasEDNS {
+		resp.SetEDNS(dnsmsg.DefaultEDNSUDP, do)
+	}
+
+	if maxSize > 0 {
+		limit := maxSize
+		if hasEDNS {
+			limit = int(udpSize)
+			if limit < dnsmsg.MaxUDPSize {
+				limit = dnsmsg.MaxUDPSize
+			}
+		}
+		s.truncateTo(resp, limit)
+	}
+	s.stats.responses.Add(1)
+	return resp
+}
+
+// truncateTo enforces a byte limit: if the packed response exceeds it,
+// all sections except a retained OPT are dropped and TC is set, telling
+// the client to retry over TCP.
+func (s *Server) truncateTo(resp *dnsmsg.Msg, limit int) {
+	wire, err := resp.Pack()
+	if err != nil || len(wire) <= limit {
+		return
+	}
+	resp.Truncated = true
+	resp.Answer = nil
+	resp.Authority = nil
+	var opt []dnsmsg.RR
+	for _, rr := range resp.Additional {
+		if rr.Type == dnsmsg.TypeOPT {
+			opt = append(opt, rr)
+		}
+	}
+	resp.Additional = opt
+	s.stats.truncated.Add(1)
+}

@@ -1,0 +1,52 @@
+package server
+
+import "sync/atomic"
+
+// Stats holds the server's atomic counters. The experiment harness polls
+// Snapshot the way the paper polled top/dstat/netstat.
+type Stats struct {
+	queries   atomic.Uint64
+	responses atomic.Uint64
+	refused   atomic.Uint64
+	truncated atomic.Uint64
+
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+
+	udpQueries atomic.Uint64
+	tcpQueries atomic.Uint64
+	tlsQueries atomic.Uint64
+
+	tcpConnsOpen  atomic.Int64 // currently established
+	tcpConnsTotal atomic.Uint64
+	tlsConnsOpen  atomic.Int64
+	tlsConnsTotal atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of every counter.
+type StatsSnapshot struct {
+	Queries, Responses, Refused, Truncated uint64
+	BytesIn, BytesOut                      uint64
+	UDPQueries, TCPQueries, TLSQueries     uint64
+	TCPConnsOpen, TLSConnsOpen             int64
+	TCPConnsTotal, TLSConnsTotal           uint64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Queries:       s.queries.Load(),
+		Responses:     s.responses.Load(),
+		Refused:       s.refused.Load(),
+		Truncated:     s.truncated.Load(),
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		UDPQueries:    s.udpQueries.Load(),
+		TCPQueries:    s.tcpQueries.Load(),
+		TLSQueries:    s.tlsQueries.Load(),
+		TCPConnsOpen:  s.tcpConnsOpen.Load(),
+		TLSConnsOpen:  s.tlsConnsOpen.Load(),
+		TCPConnsTotal: s.tcpConnsTotal.Load(),
+		TLSConnsTotal: s.tlsConnsTotal.Load(),
+	}
+}

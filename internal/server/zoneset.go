@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/zone"
+)
+
+// ZoneSet is a collection of zones searched by longest-suffix match, the
+// way a server hosting many zones picks the one authoritative for a
+// query name.
+type ZoneSet struct {
+	mu    sync.RWMutex
+	zones map[dnsmsg.Name]*zone.Zone
+}
+
+// NewZoneSet creates an empty set.
+func NewZoneSet() *ZoneSet {
+	return &ZoneSet{zones: make(map[dnsmsg.Name]*zone.Zone)}
+}
+
+// Add registers a zone; replacing an origin is an error to catch
+// misconfigured experiments early.
+func (zs *ZoneSet) Add(z *zone.Zone) error {
+	zs.mu.Lock()
+	defer zs.mu.Unlock()
+	if _, exists := zs.zones[z.Origin]; exists {
+		return fmt.Errorf("server: duplicate zone %s", z.Origin)
+	}
+	zs.zones[z.Origin] = z
+	return nil
+}
+
+// Find returns the most specific zone whose origin is an ancestor of (or
+// equals) qname.
+func (zs *ZoneSet) Find(qname dnsmsg.Name) (*zone.Zone, bool) {
+	zs.mu.RLock()
+	defer zs.mu.RUnlock()
+	for n := qname; ; n = n.Parent() {
+		if z, ok := zs.zones[n]; ok {
+			return z, true
+		}
+		if n.IsRoot() {
+			return nil, false
+		}
+	}
+}
+
+// Get returns the zone with exactly this origin.
+func (zs *ZoneSet) Get(origin dnsmsg.Name) (*zone.Zone, bool) {
+	zs.mu.RLock()
+	defer zs.mu.RUnlock()
+	z, ok := zs.zones[origin]
+	return z, ok
+}
+
+// Origins lists the zone origins, shortest (closest to root) first.
+func (zs *ZoneSet) Origins() []dnsmsg.Name {
+	zs.mu.RLock()
+	defer zs.mu.RUnlock()
+	out := make([]dnsmsg.Name, 0, len(zs.zones))
+	for n := range zs.zones {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].LabelCount(), out[j].LabelCount(); a != b {
+			return a < b
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Len reports how many zones the set holds.
+func (zs *ZoneSet) Len() int {
+	zs.mu.RLock()
+	defer zs.mu.RUnlock()
+	return len(zs.zones)
+}

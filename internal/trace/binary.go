@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+)
+
+// The internal binary stream (paper §2.5 "Binary for fast processing"):
+// a magic header, then length-prefixed records, each a fixed header plus
+// the packed DNS message. Pre-pending the length lets the reader slice
+// records without parsing.
+
+var binaryMagic = []byte("LDPB1\n")
+
+const binRecordFixed = 8 + 16 + 2 + 16 + 2 + 1 // time + src + dst + proto
+
+// BinaryWriter emits the internal binary stream.
+type BinaryWriter struct {
+	w           *bufio.Writer
+	wroteHeader bool
+}
+
+// NewBinaryWriter wraps w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record.
+func (bw *BinaryWriter) Write(e *Event) error {
+	if !bw.wroteHeader {
+		if _, err := bw.w.Write(binaryMagic); err != nil {
+			return err
+		}
+		bw.wroteHeader = true
+	}
+	total := binRecordFixed + len(e.Wire)
+	var hdr [4 + binRecordFixed]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(total))
+	binary.BigEndian.PutUint64(hdr[4:], uint64(e.Time.UnixNano()))
+	src16 := e.Src.Addr().As16()
+	copy(hdr[12:], src16[:])
+	binary.BigEndian.PutUint16(hdr[28:], e.Src.Port())
+	dst16 := e.Dst.Addr().As16()
+	copy(hdr[30:], dst16[:])
+	binary.BigEndian.PutUint16(hdr[46:], e.Dst.Port())
+	hdr[48] = byte(e.Proto)
+	if _, err := bw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := bw.w.Write(e.Wire)
+	return err
+}
+
+// Flush drains buffered records to the underlying writer.
+func (bw *BinaryWriter) Flush() error { return bw.w.Flush() }
+
+// BinaryReader streams records from the internal binary format.
+type BinaryReader struct {
+	r          *bufio.Reader
+	readHeader bool
+}
+
+// NewBinaryReader wraps r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next record or io.EOF.
+func (br *BinaryReader) Read() (*Event, error) {
+	if !br.readHeader {
+		magic := make([]byte, len(binaryMagic))
+		if _, err := io.ReadFull(br.r, magic); err != nil {
+			return nil, err
+		}
+		if string(magic) != string(binaryMagic) {
+			return nil, fmt.Errorf("trace: bad binary magic %q", magic)
+		}
+		br.readHeader = true
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br.r, lenBuf[:]); err != nil {
+		return nil, err // io.EOF on clean end
+	}
+	total := int(binary.BigEndian.Uint32(lenBuf[:]))
+	if total < binRecordFixed || total > binRecordFixed+65535 {
+		return nil, fmt.Errorf("trace: bad record length %d", total)
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(br.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	e := &Event{}
+	e.Time = unixNano(int64(binary.BigEndian.Uint64(buf[0:])))
+	e.Src = netip.AddrPortFrom(unmap(netip.AddrFrom16([16]byte(buf[8:24]))), binary.BigEndian.Uint16(buf[24:]))
+	e.Dst = netip.AddrPortFrom(unmap(netip.AddrFrom16([16]byte(buf[26:42]))), binary.BigEndian.Uint16(buf[42:]))
+	e.Proto = Proto(buf[44])
+	e.Wire = buf[45:]
+	return e, nil
+}
+
+func unmap(a netip.Addr) netip.Addr { return a.Unmap() }
+
+func unixNano(ns int64) time.Time { return time.Unix(0, ns) }

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+// The plain-text form (paper §2.5 "Plain text for easy manipulation"):
+// one line per message, whitespace-separated columns a text editor or
+// awk can rewrite. Queries round-trip completely; responses are
+// represented by their header/question summary (the replay engine only
+// sends queries — responses come from the server).
+//
+// Columns:
+//
+//	time src dst proto id flags qname qtype qclass edns
+//
+// where time is unix seconds with fractional nanoseconds, flags is a
+// +-joined list from {qr,aa,tc,rd,ra,ad,cd}, and edns is "-" (none) or
+// "size[+do]".
+
+// TextWriter emits the column form.
+type TextWriter struct {
+	w *bufio.Writer
+}
+
+// NewTextWriter wraps w.
+func NewTextWriter(w io.Writer) *TextWriter { return &TextWriter{w: bufio.NewWriter(w)} }
+
+// Write renders one event as a line.
+func (tw *TextWriter) Write(e *Event) error {
+	m, err := e.Msg()
+	if err != nil {
+		return fmt.Errorf("trace: text-encoding undecodable message: %w", err)
+	}
+	var q dnsmsg.Question
+	if len(m.Question) > 0 {
+		q = m.Question[0]
+	} else {
+		q = dnsmsg.Question{Name: dnsmsg.Root, Type: dnsmsg.TypeNone, Class: dnsmsg.ClassINET}
+	}
+	flags := flagString(m)
+	edns := "-"
+	if size, do, ok := m.EDNS(); ok {
+		edns = strconv.Itoa(int(size))
+		if do {
+			edns += "+do"
+		}
+	}
+	_, err = fmt.Fprintf(tw.w, "%d.%09d %s %s %s %d %s %s %s %s %s\n",
+		e.Time.Unix(), e.Time.Nanosecond(),
+		e.Src, e.Dst, e.Proto, m.ID, flags, q.Name, q.Type, q.Class, edns)
+	return err
+}
+
+// Flush drains the buffer.
+func (tw *TextWriter) Flush() error { return tw.w.Flush() }
+
+func flagString(m *dnsmsg.Msg) string {
+	var parts []string
+	add := func(on bool, s string) {
+		if on {
+			parts = append(parts, s)
+		}
+	}
+	add(m.Response, "qr")
+	add(m.Authoritative, "aa")
+	add(m.Truncated, "tc")
+	add(m.RecursionDesired, "rd")
+	add(m.RecursionAvailable, "ra")
+	add(m.AuthenticData, "ad")
+	add(m.CheckingDisabled, "cd")
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "+")
+}
+
+// TextReader parses the column form back into events. Lines starting
+// with '#' and blank lines are skipped, so edited files can carry notes.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &TextReader{sc: sc}
+}
+
+// Read parses the next line or returns io.EOF.
+func (tr *TextReader) Read() (*Event, error) {
+	for {
+		if !tr.sc.Scan() {
+			if err := tr.sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		tr.line++
+		line := strings.TrimSpace(tr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseTextLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: text line %d: %w", tr.line, err)
+		}
+		return e, nil
+	}
+}
+
+func parseTextLine(line string) (*Event, error) {
+	f := strings.Fields(line)
+	if len(f) != 10 {
+		return nil, fmt.Errorf("want 10 columns, have %d", len(f))
+	}
+	secs, frac, ok := strings.Cut(f[0], ".")
+	if !ok {
+		frac = "0"
+	}
+	sec, err := strconv.ParseInt(secs, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad time %q", f[0])
+	}
+	for len(frac) < 9 {
+		frac += "0"
+	}
+	nsec, err := strconv.ParseInt(frac[:9], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad time fraction %q", f[0])
+	}
+	src, err := netip.ParseAddrPort(f[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad src %q", f[1])
+	}
+	dst, err := netip.ParseAddrPort(f[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad dst %q", f[2])
+	}
+	proto, err := ProtoFromString(f[3])
+	if err != nil {
+		return nil, err
+	}
+	id, err := strconv.ParseUint(f[4], 10, 16)
+	if err != nil {
+		return nil, fmt.Errorf("bad id %q", f[4])
+	}
+
+	var m dnsmsg.Msg
+	m.ID = uint16(id)
+	if f[5] != "-" {
+		for _, fl := range strings.Split(f[5], "+") {
+			switch fl {
+			case "qr":
+				m.Response = true
+			case "aa":
+				m.Authoritative = true
+			case "tc":
+				m.Truncated = true
+			case "rd":
+				m.RecursionDesired = true
+			case "ra":
+				m.RecursionAvailable = true
+			case "ad":
+				m.AuthenticData = true
+			case "cd":
+				m.CheckingDisabled = true
+			default:
+				return nil, fmt.Errorf("unknown flag %q", fl)
+			}
+		}
+	}
+	qname, err := dnsmsg.ParseName(f[6])
+	if err != nil {
+		return nil, err
+	}
+	qtype, err := dnsmsg.TypeFromString(f[7])
+	if err != nil {
+		return nil, err
+	}
+	qclass, err := dnsmsg.ClassFromString(f[8])
+	if err != nil {
+		return nil, err
+	}
+	m.Question = []dnsmsg.Question{{Name: qname, Type: qtype, Class: qclass}}
+	if f[9] != "-" {
+		sizeStr, do := strings.CutSuffix(f[9], "+do")
+		size, err := strconv.ParseUint(sizeStr, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad edns %q", f[9])
+		}
+		m.SetEDNS(uint16(size), do)
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	return &Event{
+		Time:  time.Unix(sec, nsec),
+		Src:   src,
+		Dst:   dst,
+		Proto: proto,
+		Wire:  wire,
+	}, nil
+}

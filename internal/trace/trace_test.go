@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+func queryEvent(t testing.TB, at time.Time, src, dst string, proto Proto, name dnsmsg.Name, do bool) *Event {
+	t.Helper()
+	var m dnsmsg.Msg
+	m.ID = 7
+	m.RecursionDesired = true
+	m.SetQuestion(name, dnsmsg.TypeA)
+	if do {
+		m.SetEDNS(4096, true)
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Event{
+		Time: at, Src: netip.MustParseAddrPort(src), Dst: netip.MustParseAddrPort(dst),
+		Proto: proto, Wire: wire,
+	}
+}
+
+func sampleTrace(t testing.TB) *Trace {
+	base := time.Unix(1461234567, 12345)
+	return &Trace{Events: []*Event{
+		queryEvent(t, base, "192.0.2.1:5353", "198.41.0.4:53", UDP, "example.com.", true),
+		queryEvent(t, base.Add(10*time.Millisecond), "192.0.2.2:5353", "198.41.0.4:53", TCP, "example.org.", false),
+		queryEvent(t, base.Add(20*time.Millisecond), "192.0.2.1:5354", "198.41.0.4:53", UDP, "example.net.", false),
+	}}
+}
+
+func TestEventWireHelpers(t *testing.T) {
+	e := queryEvent(t, time.Unix(0, 0), "192.0.2.1:1", "198.41.0.4:53", UDP, "a.test.", false)
+	if !e.IsQuery() {
+		t.Error("query not detected")
+	}
+	if e.ID() != 7 {
+		t.Errorf("ID=%d", e.ID())
+	}
+	e.SetID(0xBEEF)
+	if e.ID() != 0xBEEF {
+		t.Errorf("SetID failed: %d", e.ID())
+	}
+	m, err := e.Msg()
+	if err != nil || m.ID != 0xBEEF {
+		t.Errorf("Msg after SetID: %v %v", m, err)
+	}
+	// A response flips IsQuery.
+	var resp dnsmsg.Msg
+	resp.SetReply(m)
+	wire, _ := resp.Pack()
+	re := &Event{Wire: wire}
+	if re.IsQuery() {
+		t.Error("response detected as query")
+	}
+	// Clone isolates the wire bytes.
+	c := e.Clone()
+	c.SetID(1)
+	if e.ID() != 0xBEEF {
+		t.Error("Clone shares wire storage")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := WriteAll(w, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		a, b := tr.Events[i], got.Events[i]
+		if !a.Time.Equal(b.Time) || a.Src != b.Src || a.Dst != b.Dst || a.Proto != b.Proto || !bytes.Equal(a.Wire, b.Wire) {
+			t.Errorf("event %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(NewBinaryReader(bytes.NewReader([]byte("not a trace")))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated record body.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	WriteAll(w, sampleTrace(t))
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-5]
+	_, err := ReadAll(NewBinaryReader(bytes.NewReader(trunc)))
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	if err := WriteAll(w, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 3 {
+		t.Fatalf("%d events", len(got.Events))
+	}
+	for i := range tr.Events {
+		a, b := tr.Events[i], got.Events[i]
+		if !a.Time.Equal(b.Time) || a.Src != b.Src || a.Proto != b.Proto {
+			t.Errorf("event %d header mismatch", i)
+		}
+		ma, _ := a.Msg()
+		mb, _ := b.Msg()
+		if !reflect.DeepEqual(ma, mb) {
+			t.Errorf("event %d message mismatch:\n%+v\n%+v", i, ma, mb)
+		}
+	}
+}
+
+func TestTextSkipsCommentsAndBlank(t *testing.T) {
+	input := "# a comment\n\n1000.000000000 192.0.2.1:53 192.0.2.2:53 udp 1 rd example.com. A IN -\n"
+	got, err := ReadAll(NewTextReader(bytes.NewReader([]byte(input))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 1 {
+		t.Fatalf("%d events", len(got.Events))
+	}
+	m, err := got.Events[0].Msg()
+	if err != nil || m.Question[0].Name != "example.com." || !m.RecursionDesired {
+		t.Errorf("parsed=%+v err=%v", m, err)
+	}
+}
+
+func TestTextRejectsBadLines(t *testing.T) {
+	bad := []string{
+		"1000 short line",
+		"x.0 192.0.2.1:53 192.0.2.2:53 udp 1 rd example.com. A IN -",
+		"1000.0 192.0.2.1:53 192.0.2.2:53 quic 1 rd example.com. A IN -",
+		"1000.0 192.0.2.1:53 192.0.2.2:53 udp 1 zz example.com. A IN -",
+		"1000.0 192.0.2.1:53 192.0.2.2:53 udp 1 rd example.com. NOPE IN -",
+		"1000.0 192.0.2.1:53 192.0.2.2:53 udp 1 rd example.com. A IN huge",
+	}
+	for _, line := range bad {
+		if _, err := ReadAll(NewTextReader(bytes.NewReader([]byte(line + "\n")))); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := sampleTrace(t)
+	s := tr.ComputeStats()
+	if s.Records != 3 || s.Queries != 3 || s.Responses != 0 {
+		t.Errorf("counts=%+v", s)
+	}
+	if s.Clients != 2 { // 192.0.2.1 twice (different ports), 192.0.2.2
+		t.Errorf("clients=%d", s.Clients)
+	}
+	if s.UniqueQNames != 3 || s.DOQueries != 1 {
+		t.Errorf("qnames=%d do=%d", s.UniqueQNames, s.DOQueries)
+	}
+	if s.Duration != 20*time.Millisecond {
+		t.Errorf("duration=%v", s.Duration)
+	}
+	if s.InterArrival != 10*time.Millisecond {
+		t.Errorf("interarrival=%v", s.InterArrival)
+	}
+	if s.ProtoCounts[UDP] != 2 || s.ProtoCounts[TCP] != 1 {
+		t.Errorf("protos=%v", s.ProtoCounts)
+	}
+}
+
+func TestProtoStrings(t *testing.T) {
+	for _, p := range []Proto{UDP, TCP, TLS} {
+		got, err := ProtoFromString(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v", p)
+		}
+	}
+	if _, err := ProtoFromString("carrier-pigeon"); err == nil {
+		t.Error("bad proto accepted")
+	}
+}
+
+// Property: binary round trip preserves arbitrary event payloads exactly.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ns int64, sport, dport uint16, wire []byte) bool {
+		if len(wire) == 0 || len(wire) > 65535 {
+			return true
+		}
+		e := &Event{
+			Time:  time.Unix(0, ns),
+			Src:   netip.AddrPortFrom(netip.MustParseAddr("2001:db8::1"), sport),
+			Dst:   netip.AddrPortFrom(netip.MustParseAddr("192.0.2.1"), dport),
+			Proto: TCP,
+			Wire:  wire,
+		}
+		var buf bytes.Buffer
+		w := NewBinaryWriter(&buf)
+		if w.Write(e) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := NewBinaryReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return got.Time.Equal(e.Time) && got.Src == e.Src && got.Dst == e.Dst &&
+			got.Proto == e.Proto && bytes.Equal(got.Wire, e.Wire)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

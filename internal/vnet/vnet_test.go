@@ -1,0 +1,88 @@
+package vnet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+var (
+	a = netip.MustParseAddr("10.0.0.1")
+	b = netip.MustParseAddr("10.0.0.2")
+	p = netip.MustParseAddr("10.0.0.9")
+)
+
+func TestDirectDelivery(t *testing.T) {
+	n := New()
+	var got []Packet
+	n.Attach(b, func(pkt Packet) { got = append(got, pkt) })
+	pkt := Packet{
+		Src:     netip.AddrPortFrom(a, 1234),
+		Dst:     netip.AddrPortFrom(b, 53),
+		Payload: []byte("hi"),
+	}
+	if err := n.Send(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "hi" {
+		t.Fatalf("got=%v", got)
+	}
+	delivered, diverted, dropped := n.Counters()
+	if delivered != 1 || diverted != 0 || dropped != 0 {
+		t.Errorf("counters=%d/%d/%d", delivered, diverted, dropped)
+	}
+}
+
+func TestRuleDiverts(t *testing.T) {
+	n := New()
+	var atProxy, atB int
+	n.Attach(p, func(Packet) { atProxy++ })
+	n.Attach(b, func(Packet) { atB++ })
+	n.AddRule(Rule{Name: "q53", Match: FromHost(a, DstPort53), To: p})
+
+	// Port-53 traffic from a diverts to the proxy.
+	n.Send(Packet{Src: netip.AddrPortFrom(a, 999), Dst: netip.AddrPortFrom(b, 53)})
+	// Non-53 traffic from a goes direct.
+	n.Send(Packet{Src: netip.AddrPortFrom(a, 999), Dst: netip.AddrPortFrom(b, 80)})
+	// Port-53 traffic from b is not matched (FromHost narrows).
+	n.Send(Packet{Src: netip.AddrPortFrom(b, 999), Dst: netip.AddrPortFrom(b, 53)})
+
+	if atProxy != 1 || atB != 2 {
+		t.Errorf("proxy=%d b=%d", atProxy, atB)
+	}
+	_, diverted, _ := n.Counters()
+	if diverted != 1 {
+		t.Errorf("diverted=%d", diverted)
+	}
+}
+
+func TestUndeliverableDropped(t *testing.T) {
+	n := New()
+	err := n.Send(Packet{Src: netip.AddrPortFrom(a, 1), Dst: netip.AddrPortFrom(b, 53)})
+	if err == nil {
+		t.Fatal("send to nowhere succeeded")
+	}
+	_, _, dropped := n.Counters()
+	if dropped != 1 {
+		t.Errorf("dropped=%d", dropped)
+	}
+}
+
+func TestMatchHelpers(t *testing.T) {
+	q := Packet{Src: netip.AddrPortFrom(a, 40000), Dst: netip.AddrPortFrom(b, 53)}
+	r := Packet{Src: netip.AddrPortFrom(b, 53), Dst: netip.AddrPortFrom(a, 40000)}
+	if !DstPort53(q) || DstPort53(r) {
+		t.Error("DstPort53")
+	}
+	if !SrcPort53(r) || SrcPort53(q) {
+		t.Error("SrcPort53")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	n := New()
+	n.Attach(b, func(Packet) {})
+	n.Detach(b)
+	if err := n.Send(Packet{Src: netip.AddrPortFrom(a, 1), Dst: netip.AddrPortFrom(b, 53)}); err == nil {
+		t.Error("delivery to detached endpoint succeeded")
+	}
+}

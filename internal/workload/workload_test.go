@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+func TestSyntheticFixedInterval(t *testing.T) {
+	tr := Synthetic(SyntheticConfig{
+		InterArrival: 10 * time.Millisecond,
+		Duration:     time.Second,
+		Clients:      10,
+		Seed:         1,
+	})
+	if len(tr.Events) != 100 {
+		t.Fatalf("events=%d want 100", len(tr.Events))
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		d := tr.Events[i].Time.Sub(tr.Events[i-1].Time)
+		if d != 10*time.Millisecond {
+			t.Fatalf("gap %d = %v", i, d)
+		}
+	}
+	// Unique names: the replay evaluation matches queries by name.
+	seen := map[string]bool{}
+	for _, e := range tr.Events {
+		m, err := e.Msg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := string(m.Question[0].Name)
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestTable1Synthetics(t *testing.T) {
+	traces := Table1Synthetics(0.01) // 0.6-second versions
+	if len(traces) != 5 {
+		t.Fatalf("traces=%d", len(traces))
+	}
+	// syn-0 has 1 s inter-arrival: a 0.6 s trace holds 0 events — use the
+	// documented scaling to verify counts for the fast ones instead.
+	if n := len(traces["syn-3"].Events); n != 600 {
+		t.Errorf("syn-3 events=%d want 600", n)
+	}
+	if n := len(traces["syn-4"].Events); n != 6000 {
+		t.Errorf("syn-4 events=%d want 6000", n)
+	}
+	s := traces["syn-2"].ComputeStats()
+	if s.InterArrival != 10*time.Millisecond {
+		t.Errorf("syn-2 interarrival=%v", s.InterArrival)
+	}
+}
+
+func TestClientSkewMatchesFig15c(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	clients, total := 10000, 1_000_000
+	counts := ClientSkew(clients, total, rng)
+	if len(counts) != clients {
+		t.Fatalf("len=%d", len(counts))
+	}
+	sum := 0
+	under10 := 0
+	for _, c := range counts {
+		sum += c
+		if c < 10 {
+			under10++
+		}
+	}
+	if ratio := float64(sum) / float64(total); ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("total=%d want ~%d", sum, total)
+	}
+	// Top 1% carry ~75%.
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top := 0
+	for _, c := range sorted[:clients/100] {
+		top += c
+	}
+	if share := float64(top) / float64(sum); share < 0.70 || share > 0.80 {
+		t.Errorf("top-1%% share=%.3f want ~0.75", share)
+	}
+	// ~81% of clients send <10 queries.
+	if frac := float64(under10) / float64(clients); frac < 0.76 || frac > 0.86 {
+		t.Errorf("under-10 fraction=%.3f want ~0.81", frac)
+	}
+}
+
+func TestBRootModelProperties(t *testing.T) {
+	cfg := BRootConfig{
+		Duration:   20 * time.Second,
+		MedianRate: 500,
+		Clients:    1000,
+		Seed:       7,
+	}
+	tr := BRootModel(cfg)
+	s := tr.ComputeStats()
+	if s.Queries < 8000 || s.Queries > 12000 {
+		t.Errorf("queries=%d want ~10000", s.Queries)
+	}
+	if s.Clients < 500 || s.Clients > 1000 {
+		t.Errorf("clients=%d", s.Clients)
+	}
+	doFrac := float64(s.DOQueries) / float64(s.Queries)
+	if doFrac < 0.68 || doFrac > 0.77 {
+		t.Errorf("DO fraction=%.3f want ~0.723", doFrac)
+	}
+	tcpFrac := float64(s.ProtoCounts[trace.TCP]) / float64(s.Queries)
+	if tcpFrac < 0.005 || tcpFrac > 0.10 {
+		t.Errorf("TCP fraction=%.3f want ~0.03", tcpFrac)
+	}
+	// Timestamps are nondecreasing.
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Time.Before(tr.Events[i-1].Time) {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestBRootModelDeterministic(t *testing.T) {
+	cfg := BRootConfig{Duration: 2 * time.Second, MedianRate: 100, Clients: 50, Seed: 3}
+	a := BRootModel(cfg)
+	b := BRootModel(cfg)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if !a.Events[i].Time.Equal(b.Events[i].Time) || string(a.Events[i].Wire) != string(b.Events[i].Wire) {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestBRootRateVariesOverTime(t *testing.T) {
+	tr := BRootModel(BRootConfig{Duration: 60 * time.Second, MedianRate: 200, Clients: 200, Seed: 9})
+	perSec := map[int]int{}
+	start := tr.Events[0].Time
+	for _, e := range tr.Events {
+		perSec[int(e.Time.Sub(start).Seconds())]++
+	}
+	min, max := 1<<30, 0
+	for _, c := range perSec {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max-min) < 0.05*200 {
+		t.Errorf("rate too flat: min=%d max=%d", min, max)
+	}
+}
+
+func TestRecModel(t *testing.T) {
+	tr := RecModel(RecConfig{Duration: time.Hour, Queries: 2000, Clients: 91, Seed: 5})
+	s := tr.ComputeStats()
+	if s.Queries != 2000 {
+		t.Fatalf("queries=%d", s.Queries)
+	}
+	if s.Clients > 91 || s.Clients < 30 {
+		t.Errorf("clients=%d want <=91", s.Clients)
+	}
+	// Mean inter-arrival should be near duration/queries = 1.8 s.
+	if s.InterArrival < time.Second || s.InterArrival > 3*time.Second {
+		t.Errorf("interarrival=%v want ~1.8s", s.InterArrival)
+	}
+	// Bursty: sd of exponential ≈ mean (far from 0).
+	if s.InterArrSD < s.InterArrival/2 {
+		t.Errorf("sd=%v too regular for exponential arrivals", s.InterArrSD)
+	}
+}

@@ -1,0 +1,76 @@
+package zone
+
+import (
+	"fmt"
+	"testing"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+// buildBigZone creates a zone with n leaf names plus delegations, the
+// shape a TLD zone has.
+func buildBigZone(b *testing.B, n int) *Zone {
+	b.Helper()
+	z := New("bench.test.")
+	mustAdd := func(rr dnsmsg.RR) {
+		if err := z.Add(rr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustAdd(dnsmsg.RR{Name: "bench.test.", Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: dnsmsg.SOA{MName: "ns.bench.test.", RName: "h.bench.test.", Serial: 1, Refresh: 1, Retry: 1, Expire: 1, Minimum: 60}})
+	mustAdd(dnsmsg.RR{Name: "bench.test.", Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: dnsmsg.NS{Host: "ns.bench.test."}})
+	for i := 0; i < n; i++ {
+		name := dnsmsg.MustParseName(fmt.Sprintf("host%d.bench.test.", i))
+		mustAdd(dnsmsg.RR{Name: name, Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 60,
+			Data: dnsmsg.A{Addr: mustAddr("192.0.2.1")}})
+		if i%10 == 0 {
+			sub := dnsmsg.MustParseName(fmt.Sprintf("sub%d.bench.test.", i))
+			mustAdd(dnsmsg.RR{Name: sub, Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET, TTL: 60,
+				Data: dnsmsg.NS{Host: dnsmsg.MustParseName("ns1." + string(sub))}})
+			mustAdd(dnsmsg.RR{Name: dnsmsg.MustParseName("ns1." + string(sub)), Type: dnsmsg.TypeA,
+				Class: dnsmsg.ClassINET, TTL: 60, Data: dnsmsg.A{Addr: mustAddr("192.0.2.2")}})
+		}
+	}
+	return z
+}
+
+func BenchmarkQueryPositive(b *testing.B) {
+	z := buildBigZone(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := dnsmsg.Name(fmt.Sprintf("host%d.bench.test.", i%10000))
+		a := z.Query(name, dnsmsg.TypeA, false)
+		if a.Result != ResultAnswer {
+			b.Fatalf("result=%v", a.Result)
+		}
+	}
+}
+
+func BenchmarkQueryReferral(b *testing.B) {
+	z := buildBigZone(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := dnsmsg.Name(fmt.Sprintf("deep.sub%d.bench.test.", (i%1000)*10))
+		a := z.Query(name, dnsmsg.TypeA, false)
+		if a.Result != ResultReferral {
+			b.Fatalf("result=%v", a.Result)
+		}
+	}
+}
+
+func BenchmarkQueryNXDomain(b *testing.B) {
+	z := buildBigZone(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := dnsmsg.Name(fmt.Sprintf("missing%d.bench.test.", i))
+		a := z.Query(name, dnsmsg.TypeA, false)
+		if a.Result != ResultNXDomain {
+			b.Fatalf("result=%v", a.Result)
+		}
+	}
+}

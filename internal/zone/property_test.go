@@ -1,0 +1,155 @@
+package zone
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+// randomZone builds a structurally valid random zone: apex SOA/NS, a mix
+// of record types, occasional delegations with glue and a wildcard.
+func randomZone(rng *rand.Rand) *Zone {
+	origin := dnsmsg.MustParseName(fmt.Sprintf("z%d.test.", rng.Intn(1000)))
+	z := New(origin)
+	add := func(name dnsmsg.Name, t dnsmsg.Type, d dnsmsg.RData) {
+		z.Add(dnsmsg.RR{Name: name, Type: t, Class: dnsmsg.ClassINET,
+			TTL: uint32(60 + rng.Intn(86400)), Data: d})
+	}
+	ns := dnsmsg.MustParseName("ns1." + string(origin))
+	add(origin, dnsmsg.TypeSOA, dnsmsg.SOA{MName: ns,
+		RName:  dnsmsg.MustParseName("admin." + string(origin)),
+		Serial: uint32(rng.Intn(1 << 30)), Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300})
+	add(origin, dnsmsg.TypeNS, dnsmsg.NS{Host: ns})
+	add(ns, dnsmsg.TypeA, dnsmsg.A{Addr: randV4(rng)})
+
+	n := 1 + rng.Intn(30)
+	for i := 0; i < n; i++ {
+		name := dnsmsg.MustParseName(fmt.Sprintf("h%d.%s", i, origin))
+		switch rng.Intn(7) {
+		case 0:
+			add(name, dnsmsg.TypeA, dnsmsg.A{Addr: randV4(rng)})
+		case 1:
+			add(name, dnsmsg.TypeAAAA, dnsmsg.AAAA{Addr: randV6(rng)})
+		case 2:
+			add(name, dnsmsg.TypeTXT, dnsmsg.TXT{Strings: []string{fmt.Sprintf("v%d", rng.Intn(100))}})
+		case 3:
+			add(name, dnsmsg.TypeMX, dnsmsg.MX{Preference: uint16(rng.Intn(100)), Host: ns})
+		case 4:
+			// Delegation with glue.
+			child := dnsmsg.MustParseName(fmt.Sprintf("sub%d.%s", i, origin))
+			childNS := dnsmsg.MustParseName("ns1." + string(child))
+			add(child, dnsmsg.TypeNS, dnsmsg.NS{Host: childNS})
+			add(childNS, dnsmsg.TypeA, dnsmsg.A{Addr: randV4(rng)})
+		case 5:
+			add(name, dnsmsg.TypeCNAME, dnsmsg.CNAME{Target: ns})
+		case 6:
+			add(name, dnsmsg.TypeSRV, dnsmsg.SRV{Priority: 1, Weight: 2,
+				Port: uint16(rng.Intn(65536)), Target: ns})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		add(dnsmsg.Name("*."+string(origin)), dnsmsg.TypeA, dnsmsg.A{Addr: randV4(rng)})
+	}
+	return z
+}
+
+func randV4(rng *rand.Rand) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(1 + rng.Intn(223)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1 + rng.Intn(254))})
+}
+
+func randV6(rng *rand.Rand) netip.Addr {
+	var b [16]byte
+	b[0], b[1] = 0x20, 0x01
+	for i := 2; i < 16; i++ {
+		b[i] = byte(rng.Intn(256))
+	}
+	return netip.AddrFrom16(b)
+}
+
+// TestParseWriteRoundTripProperty: serializing a random zone and
+// reparsing it preserves record count and every lookup result.
+func TestParseWriteRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		z := randomZone(rng)
+		var buf bytes.Buffer
+		if _, err := z.WriteTo(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		z2, err := Parse(bytes.NewReader(buf.Bytes()), "")
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v\n%s", trial, err, buf.String())
+		}
+		if z2.RecordCount() != z.RecordCount() {
+			t.Fatalf("trial %d: records %d != %d", trial, z2.RecordCount(), z.RecordCount())
+		}
+		// Every owner's lookups agree.
+		for _, name := range z.Names() {
+			for _, set := range z.Sets(name) {
+				got, ok := z2.Lookup(name, set.Type)
+				if !ok || len(got.Data) != len(set.Data) {
+					t.Fatalf("trial %d: %s %s differs after round trip", trial, name, set.Type)
+				}
+			}
+		}
+		// Query behaviour matches for a sample of names.
+		for i := 0; i < 10; i++ {
+			q := dnsmsg.MustParseName(fmt.Sprintf("h%d.%s", rng.Intn(40), z.Origin))
+			a1 := z.Query(q, dnsmsg.TypeA, false)
+			a2 := z2.Query(q, dnsmsg.TypeA, false)
+			if a1.Result != a2.Result || len(a1.Answer) != len(a2.Answer) {
+				t.Fatalf("trial %d: query %s: %v/%d vs %v/%d",
+					trial, q, a1.Result, len(a1.Answer), a2.Result, len(a2.Answer))
+			}
+		}
+	}
+}
+
+// TestQueryNeverPanicsProperty: random zones + random query names never
+// panic and always produce a coherent (Result, Rcode) pair.
+func TestQueryNeverPanicsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	qtypes := []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA, dnsmsg.TypeNS,
+		dnsmsg.TypeCNAME, dnsmsg.TypeMX, dnsmsg.TypeANY, dnsmsg.TypeDS, dnsmsg.Type(999)}
+	for trial := 0; trial < 40; trial++ {
+		z := randomZone(rng)
+		for i := 0; i < 50; i++ {
+			var q dnsmsg.Name
+			switch rng.Intn(4) {
+			case 0: // existing shape
+				q = dnsmsg.MustParseName(fmt.Sprintf("h%d.%s", rng.Intn(40), z.Origin))
+			case 1: // below a possible delegation
+				q = dnsmsg.MustParseName(fmt.Sprintf("x.sub%d.%s", rng.Intn(40), z.Origin))
+			case 2: // deep nonsense in-zone
+				q = dnsmsg.MustParseName(fmt.Sprintf("a.b.c.d%d.%s", rng.Intn(40), z.Origin))
+			case 3: // out of zone
+				q = "elsewhere.example."
+			}
+			for _, do := range []bool{false, true} {
+				a := z.Query(q, qtypes[rng.Intn(len(qtypes))], do)
+				switch a.Result {
+				case ResultAnswer:
+					if len(a.Answer) == 0 || a.Rcode != dnsmsg.RcodeSuccess {
+						t.Fatalf("answer result with %d answers rcode=%v", len(a.Answer), a.Rcode)
+					}
+				case ResultNXDomain:
+					if a.Rcode != dnsmsg.RcodeNXDomain || len(a.Answer) != 0 {
+						t.Fatalf("nxdomain incoherent: rcode=%v answers=%d", a.Rcode, len(a.Answer))
+					}
+				case ResultNoData, ResultReferral:
+					if a.Rcode != dnsmsg.RcodeSuccess || len(a.Answer) != 0 {
+						t.Fatalf("%v incoherent: rcode=%v answers=%d", a.Result, a.Rcode, len(a.Answer))
+					}
+				case ResultNotZone:
+					if a.Rcode != dnsmsg.RcodeRefused {
+						t.Fatalf("notzone rcode=%v", a.Rcode)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package zoneconstruct
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/resolver"
+	"ldplayer/internal/zonegen"
+)
+
+// tapResolver builds a resolver over the test world whose upstream
+// traffic feeds the given constructor (nil disables capture).
+func tapResolver(t *testing.T, world *realWorld, c *Constructor) *resolver.Resolver {
+	t.Helper()
+	res, err := resolver.New(resolver.Config{
+		Roots:    []netip.AddrPort{netip.AddrPortFrom(zonegen.RootAddr, 53)},
+		Exchange: world,
+		Tap: func(srv netip.AddrPort, q, resp *dnsmsg.Msg) {
+			if c != nil {
+				c.AddResponse(srv.Addr(), resp)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWarmCacheCaptureIsIncomplete reproduces the paper's §2.3 finding
+// that justified full cold-cache reconstruction: "caching makes raw
+// traces incomplete if the traces are captured after the cache is warm."
+// Capturing a warm resolver's upstream interface yields nothing to
+// rebuild from; the cold-cache walk captures the whole hierarchy.
+func TestWarmCacheCaptureIsIncomplete(t *testing.T) {
+	h, err := zonegen.Generate(zonegen.Config{
+		TLDs: []string{"com"}, SLDsPerTLD: 3, HostsPerSLD: 2, Seed: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := newRealWorld(t, h)
+	names := make([]dnsmsg.Name, 0, len(h.SLDs))
+	for _, sld := range h.SLDs {
+		names = append(names, dnsmsg.MustParseName("www."+string(sld)))
+	}
+
+	// Warm scenario: the resolver has already answered every name once
+	// (capture off, as if the tap started late); then the capture runs
+	// while the same queries repeat against the warm cache.
+	warm := New()
+	res := tapResolver(t, world, nil) // warm-up pass, no capture
+	for _, n := range names {
+		if _, err := res.Resolve(context.Background(), n, dnsmsg.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Repeat pass with capture on: a fresh resolver sharing the warm
+	// cache, with the tap feeding the constructor.
+	resWarm, err := resolver.New(resolver.Config{
+		Roots:    []netip.AddrPort{netip.AddrPortFrom(zonegen.RootAddr, 53)},
+		Exchange: world,
+		Cache:    res.Cache(),
+		Tap: func(srv netip.AddrPort, q, resp *dnsmsg.Msg) {
+			warm.AddResponse(srv.Addr(), resp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, err := resWarm.Resolve(context.Background(), n, dnsmsg.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmBuilt, err := warm.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold scenario: flush before every walk, with the usual root NS
+	// priming query first.
+	cold := New()
+	resCold := tapResolver(t, world, cold)
+	if _, err := resCold.Resolve(context.Background(), dnsmsg.Root, dnsmsg.TypeNS); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		resCold.Cache().Flush()
+		if _, err := resCold.Resolve(context.Background(), n, dnsmsg.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coldBuilt, err := cold.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The warm capture saw no upstream traffic: nothing reconstructable.
+	if len(warmBuilt.Origins) != 0 {
+		t.Errorf("warm capture rebuilt %v — cache should have absorbed everything", warmBuilt.Origins)
+	}
+	// The cold capture rebuilds root + TLD + every SLD.
+	if len(coldBuilt.Origins) < 2+len(h.SLDs) {
+		t.Errorf("cold capture incomplete: %v", coldBuilt.Origins)
+	}
+}
+
+// TestMergeMultipleTraces: the constructor merges captures from several
+// traces into one consistent hierarchy (§2.3 "Optionally we can also
+// merge the intermediate zone files of multiple traces").
+func TestMergeMultipleTraces(t *testing.T) {
+	h, err := zonegen.Generate(zonegen.Config{
+		TLDs: []string{"com", "org"}, SLDsPerTLD: 2, HostsPerSLD: 2, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := newRealWorld(t, h)
+	c := New()
+
+	// "Trace 1" covers com names, "trace 2" covers org names; both feed
+	// the same constructor.
+	for pass, tld := range []string{"com.", "org."} {
+		res := tapResolver(t, world, c)
+		for _, sld := range h.SLDs {
+			if sld.Parent() != dnsmsg.Name(tld) {
+				continue
+			}
+			res.Cache().Flush()
+			if _, err := res.Resolve(context.Background(), dnsmsg.MustParseName("www."+string(sld)), dnsmsg.TypeA); err != nil {
+				t.Fatalf("pass %d: %v", pass, err)
+			}
+		}
+	}
+	built, err := c.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both TLD branches exist in the merged result.
+	if _, ok := built.Zones["com."]; !ok {
+		t.Error("merged result missing com.")
+	}
+	if _, ok := built.Zones["org."]; !ok {
+		t.Error("merged result missing org.")
+	}
+	if len(built.Origins) < 2+len(h.SLDs) {
+		t.Errorf("merged origins=%v", built.Origins)
+	}
+}

@@ -1,0 +1,357 @@
+// Package zoneconstruct rebuilds DNS zones from captured traffic — the
+// paper's §2.3. Responses harvested at a recursive server's upstream
+// interface (one cold-cache walk per unique query) carry every record the
+// replay will need; this package reverses them into loadable zones:
+//
+//  1. scan all responses for NS records and nameserver addresses,
+//  2. group nameservers serving the same domain and aggregate response
+//     data by the responding server's address into intermediate zones,
+//  3. split intermediate data at zone cuts into per-origin zones,
+//  4. synthesize records a valid zone needs but traces rarely carry
+//     (SOA, apex NS), and
+//  5. resolve inconsistent answers (CDN rotation) by keeping the first.
+package zoneconstruct
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/zone"
+	"ldplayer/internal/zonegen"
+)
+
+// Constructor accumulates responses and builds zones.
+type Constructor struct {
+	// nsHosts: domain -> nameserver host names seen in NS rrsets.
+	nsHosts map[dnsmsg.Name]map[dnsmsg.Name]bool
+	// nsAddrs: nameserver host -> addresses seen in glue/answers.
+	nsAddrs map[dnsmsg.Name][]netip.Addr
+	// records aggregated per responding server address, in arrival order.
+	bySource map[netip.Addr][]dnsmsg.RR
+	sources  []netip.Addr // insertion order for determinism
+	// firstAnswer: (owner|type) -> source that first answered it.
+	firstAnswer map[string]netip.Addr
+
+	responses int
+}
+
+// New creates an empty constructor.
+func New() *Constructor {
+	return &Constructor{
+		nsHosts:     make(map[dnsmsg.Name]map[dnsmsg.Name]bool),
+		nsAddrs:     make(map[dnsmsg.Name][]netip.Addr),
+		bySource:    make(map[netip.Addr][]dnsmsg.RR),
+		firstAnswer: make(map[string]netip.Addr),
+	}
+}
+
+// AddEvent feeds one trace event; queries are ignored.
+func (c *Constructor) AddEvent(e *trace.Event) error {
+	if e.IsQuery() {
+		return nil
+	}
+	m, err := e.Msg()
+	if err != nil {
+		return fmt.Errorf("zoneconstruct: undecodable response: %w", err)
+	}
+	c.AddResponse(e.Src.Addr(), m)
+	return nil
+}
+
+// AddResponse records one response observed from the server at src.
+func (c *Constructor) AddResponse(src netip.Addr, m *dnsmsg.Msg) {
+	c.responses++
+	if _, seen := c.bySource[src]; !seen {
+		c.sources = append(c.sources, src)
+	}
+	for _, sec := range [][]dnsmsg.RR{m.Answer, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if rr.Type == dnsmsg.TypeOPT {
+				continue
+			}
+			c.observe(src, rr)
+		}
+	}
+}
+
+func (c *Constructor) observe(src netip.Addr, rr dnsmsg.RR) {
+	// First-answer policy (§2.3 "Handle inconsistent replies"): the first
+	// source to provide an (owner, type) rrset owns it; later differing
+	// data is dropped so rebuilt zones are a consistent snapshot.
+	key := string(rr.Name) + "|" + rr.Type.String()
+	if first, ok := c.firstAnswer[key]; ok {
+		if first != src {
+			return
+		}
+	} else {
+		c.firstAnswer[key] = src
+	}
+	c.bySource[src] = append(c.bySource[src], rr)
+
+	switch d := rr.Data.(type) {
+	case dnsmsg.NS:
+		set := c.nsHosts[rr.Name]
+		if set == nil {
+			set = make(map[dnsmsg.Name]bool)
+			c.nsHosts[rr.Name] = set
+		}
+		set[d.Host] = true
+	case dnsmsg.A:
+		c.addNSAddr(rr.Name, d.Addr)
+	case dnsmsg.AAAA:
+		c.addNSAddr(rr.Name, d.Addr)
+	}
+}
+
+func (c *Constructor) addNSAddr(host dnsmsg.Name, addr netip.Addr) {
+	for _, a := range c.nsAddrs[host] {
+		if a == addr {
+			return
+		}
+	}
+	c.nsAddrs[host] = append(c.nsAddrs[host], addr)
+}
+
+// Result is the rebuilt hierarchy.
+type Result struct {
+	// Zones maps each origin to its rebuilt zone.
+	Zones map[dnsmsg.Name]*zone.Zone
+	// Origins lists zone origins, shallowest first.
+	Origins []dnsmsg.Name
+	// NSAddr maps each origin to one authoritative address, the key the
+	// split-horizon emulation matches on.
+	NSAddr map[dnsmsg.Name]netip.Addr
+	// SynthesizedSOA and FetchedNS list the records invented per §2.3
+	// "Recover Missing Data", for the experimenter's audit.
+	SynthesizedSOA []dnsmsg.Name
+	FetchedNS      []dnsmsg.Name
+}
+
+// NSProber fetches NS records for a domain when the trace lacks them
+// (the paper probes the real servers once; tests probe the synthetic
+// hierarchy). It may return nil.
+type NSProber func(domain dnsmsg.Name) []dnsmsg.RR
+
+// Build reverses the accumulated responses into per-origin zones.
+func (c *Constructor) Build(probe NSProber) (*Result, error) {
+	// Zone cuts: every domain with an observed NS rrset is an origin.
+	origins := make([]dnsmsg.Name, 0, len(c.nsHosts))
+	for d := range c.nsHosts {
+		origins = append(origins, d)
+	}
+	// If responses exist but no NS was ever seen (pure authoritative
+	// replay capture), fall back to a single zone at the common ancestor.
+	if len(origins) == 0 && c.responses > 0 {
+		origins = append(origins, c.commonAncestor())
+	}
+	sort.Slice(origins, func(i, j int) bool {
+		if a, b := origins[i].LabelCount(), origins[j].LabelCount(); a != b {
+			return a < b
+		}
+		return origins[i] < origins[j]
+	})
+
+	res := &Result{
+		Zones:  make(map[dnsmsg.Name]*zone.Zone),
+		NSAddr: make(map[dnsmsg.Name]netip.Addr),
+	}
+	for _, o := range origins {
+		res.Zones[o] = zone.New(o)
+		res.Origins = append(res.Origins, o)
+	}
+
+	// serverOrigins: which origins each source address serves (the
+	// "group of nameservers" aggregation): src serves origin o when src
+	// is an address of one of o's NS hosts.
+	addrServes := make(map[netip.Addr]map[dnsmsg.Name]bool)
+	for domain, hosts := range c.nsHosts {
+		for host := range hosts {
+			for _, addr := range c.nsAddrs[host] {
+				set := addrServes[addr]
+				if set == nil {
+					set = make(map[dnsmsg.Name]bool)
+					addrServes[addr] = set
+				}
+				set[domain] = true
+			}
+		}
+	}
+	for _, o := range origins {
+		for host := range c.nsHosts[o] {
+			if addrs := c.nsAddrs[host]; len(addrs) > 0 {
+				res.NSAddr[o] = addrs[0]
+				break
+			}
+		}
+	}
+
+	// Distribute records: each record goes to the deepest origin that is
+	// an ancestor of its owner and is served by (or consistent with) the
+	// responding source. Delegation NS records and glue also land in the
+	// parent zone so referrals work.
+	for _, src := range c.sources {
+		for _, rr := range c.bySource[src] {
+			c.place(res, origins, addrServes[src], rr)
+		}
+	}
+
+	// Recover missing data.
+	for _, o := range origins {
+		z := res.Zones[o]
+		if _, ok := z.Lookup(o, dnsmsg.TypeNS); !ok {
+			var fetched []dnsmsg.RR
+			if probe != nil {
+				fetched = probe(o)
+			}
+			if fetched == nil {
+				for host := range c.nsHosts[o] {
+					fetched = append(fetched, dnsmsg.RR{
+						Name: o, Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET,
+						TTL: 86400, Data: dnsmsg.NS{Host: host},
+					})
+				}
+			}
+			if len(fetched) == 0 {
+				// Nothing observed and nothing probed: invent a valid NS
+				// the same way the SOA below is invented.
+				fetched = []dnsmsg.RR{{
+					Name: o, Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET,
+					TTL: 86400, Data: dnsmsg.NS{Host: firstNSHost(nil, o)},
+				}}
+			}
+			for _, rr := range fetched {
+				if err := z.Add(rr); err != nil {
+					return nil, err
+				}
+			}
+			res.FetchedNS = append(res.FetchedNS, o)
+		}
+		if z.SOA() == nil {
+			host := "invented.hostmaster." + string(o)
+			if o.IsRoot() {
+				host = "invented.hostmaster."
+			}
+			if err := z.Add(dnsmsg.RR{
+				Name: o, Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassINET, TTL: 3600,
+				Data: dnsmsg.SOA{
+					MName: firstNSHost(c.nsHosts[o], o), RName: dnsmsg.MustParseName(host),
+					Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+				},
+			}); err != nil {
+				return nil, err
+			}
+			res.SynthesizedSOA = append(res.SynthesizedSOA, o)
+		}
+	}
+	return res, nil
+}
+
+// place assigns one record to its zone.
+func (c *Constructor) place(res *Result, origins []dnsmsg.Name, serves map[dnsmsg.Name]bool, rr dnsmsg.RR) {
+	// Candidate origins: ancestors of the owner, deepest last.
+	var cands []dnsmsg.Name
+	for _, o := range origins {
+		if rr.Name.IsSubdomainOf(o) {
+			cands = append(cands, o)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	target := cands[len(cands)-1]
+
+	// A delegation (NS at a name that is itself an origin, observed from
+	// the parent's server) belongs in the parent zone; the child apex
+	// copy also belongs in the child. Store in both: referral correctness
+	// needs the parent copy, child completeness needs the apex copy.
+	if rr.Type == dnsmsg.TypeNS && rr.Name == target && len(cands) >= 2 {
+		parent := cands[len(cands)-2]
+		_ = res.Zones[parent].Add(rr)
+	}
+	// Prefer an origin the responding server actually serves, when known.
+	if serves != nil && !serves[target] {
+		for i := len(cands) - 1; i >= 0; i-- {
+			if serves[cands[i]] {
+				target = cands[i]
+				break
+			}
+		}
+	}
+	_ = res.Zones[target].Add(rr)
+
+	// Glue: addresses of a delegated zone's nameservers must also live in
+	// the parent for referrals to carry them.
+	if rr.Type == dnsmsg.TypeA || rr.Type == dnsmsg.TypeAAAA {
+		for domain, hosts := range c.nsHosts {
+			if !hosts[rr.Name] || domain != target {
+				continue
+			}
+			for i := len(cands) - 2; i >= 0; i-- {
+				if domain.IsSubdomainOf(cands[i]) {
+					_ = res.Zones[cands[i]].Add(rr)
+					break
+				}
+			}
+		}
+	}
+}
+
+func (c *Constructor) commonAncestor() dnsmsg.Name {
+	var names []dnsmsg.Name
+	for _, rrs := range c.bySource {
+		for _, rr := range rrs {
+			names = append(names, rr.Name)
+		}
+	}
+	if len(names) == 0 {
+		return dnsmsg.Root
+	}
+	anc := names[0]
+	for _, n := range names[1:] {
+		for !n.IsSubdomainOf(anc) {
+			anc = anc.Parent()
+			if anc.IsRoot() {
+				return dnsmsg.Root
+			}
+		}
+	}
+	return anc
+}
+
+// ToHierarchy adapts the rebuilt zones into the structure the hierarchy
+// emulation consumes, closing the paper's loop: capture -> construct ->
+// emulate -> replay.
+func (r *Result) ToHierarchy() *zonegen.Hierarchy {
+	h := &zonegen.Hierarchy{
+		Zones:  r.Zones,
+		NSAddr: r.NSAddr,
+		NSName: make(map[dnsmsg.Name]dnsmsg.Name),
+	}
+	if root, ok := r.Zones[dnsmsg.Root]; ok {
+		h.Root = root
+	}
+	for _, o := range r.Origins {
+		if o.LabelCount() >= 2 {
+			h.SLDs = append(h.SLDs, o)
+		}
+	}
+	return h
+}
+
+func firstNSHost(hosts map[dnsmsg.Name]bool, origin dnsmsg.Name) dnsmsg.Name {
+	var sorted []dnsmsg.Name
+	for h := range hosts {
+		sorted = append(sorted, h)
+	}
+	if len(sorted) == 0 {
+		if origin.IsRoot() {
+			return "invented-ns."
+		}
+		return dnsmsg.Name("invented-ns." + string(origin))
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[0]
+}

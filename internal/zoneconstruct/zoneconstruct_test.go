@@ -1,0 +1,255 @@
+package zoneconstruct
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/hierarchy"
+	"ldplayer/internal/resolver"
+	"ldplayer/internal/server"
+	"ldplayer/internal/zonegen"
+)
+
+// realWorld plays the Internet: one independent authoritative server per
+// zone, each at its own address, answering the cold-cache walks whose
+// responses the constructor harvests.
+type realWorld struct {
+	servers map[netip.AddrPort]*server.Server
+}
+
+func newRealWorld(t testing.TB, h *zonegen.Hierarchy) *realWorld {
+	t.Helper()
+	w := &realWorld{servers: make(map[netip.AddrPort]*server.Server)}
+	for origin, z := range h.Zones {
+		s := server.New(server.Config{})
+		if err := s.AddZone(z); err != nil {
+			t.Fatal(err)
+		}
+		w.servers[netip.AddrPortFrom(h.NSAddr[origin], 53)] = s
+	}
+	return w
+}
+
+func (w *realWorld) Exchange(_ context.Context, srv netip.AddrPort, q *dnsmsg.Msg) (*dnsmsg.Msg, error) {
+	s, ok := w.servers[srv]
+	if !ok {
+		return nil, context.DeadlineExceeded
+	}
+	return s.HandleQuery(srv.Addr(), q, 0), nil
+}
+
+// TestConstructReplayLoop is the paper's full §2.3 pipeline: walk the
+// "real" hierarchy once with a cold cache capturing upstream responses,
+// rebuild zones from the capture, then serve the rebuilt zones through
+// the proxy emulation and verify replayed queries get the same answers.
+func TestConstructReplayLoop(t *testing.T) {
+	h, err := zonegen.Generate(zonegen.Config{
+		TLDs: []string{"com", "org"}, SLDsPerTLD: 2, HostsPerSLD: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := newRealWorld(t, h)
+
+	c := New()
+	res, err := resolver.New(resolver.Config{
+		Roots:    []netip.AddrPort{netip.AddrPortFrom(zonegen.RootAddr, 53)},
+		Exchange: world,
+		EDNSSize: 4096,
+		Tap: func(srv netip.AddrPort, q, resp *dnsmsg.Msg) {
+			c.AddResponse(srv.Addr(), resp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Priming query: real resolvers fetch the root NS set first, which is
+	// also what lets reconstruction see the root zone's own NS records.
+	if _, err := res.Resolve(context.Background(), dnsmsg.Root, dnsmsg.TypeNS); err != nil {
+		t.Fatal(err)
+	}
+
+	// The unique queries of the "trace": one walk per name, cold cache.
+	var queries []dnsmsg.Name
+	for _, sld := range h.SLDs {
+		queries = append(queries, dnsmsg.MustParseName("www."+string(sld)))
+	}
+	wantAnswers := make(map[dnsmsg.Name]string)
+	for _, q := range queries {
+		res.Cache().Flush()
+		m, err := res.Resolve(context.Background(), q, dnsmsg.TypeA)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(m.Answer) == 0 {
+			t.Fatalf("%s: empty answer", q)
+		}
+		wantAnswers[q] = m.Answer[0].Data.String()
+	}
+
+	// Rebuild zones from the harvested responses.
+	built, err := c.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root, 2 TLDs and the walked SLDs must all exist as origins.
+	if _, ok := built.Zones[dnsmsg.Root]; !ok {
+		t.Fatal("no root zone rebuilt")
+	}
+	if len(built.Origins) < 3 {
+		t.Fatalf("origins=%v", built.Origins)
+	}
+	for _, o := range built.Origins {
+		if err := built.Zones[o].Validate(); err != nil {
+			t.Errorf("rebuilt zone invalid: %v", err)
+		}
+		if _, ok := built.NSAddr[o]; !ok {
+			t.Errorf("no NS address derived for %s", o)
+		}
+	}
+
+	// Every zone got a synthesized SOA (traces carry none for positive
+	// answers).
+	if len(built.SynthesizedSOA) == 0 {
+		t.Error("no SOAs synthesized")
+	}
+
+	// Serve the rebuilt hierarchy through the proxy emulation and replay.
+	em, err := hierarchy.New(built.ToHierarchy(), hierarchy.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		em.Resolver.Cache().Flush()
+		m, err := em.Resolve(context.Background(), q, dnsmsg.TypeA)
+		if err != nil {
+			t.Fatalf("replay %s: %v", q, err)
+		}
+		if m.Rcode != dnsmsg.RcodeSuccess || len(m.Answer) == 0 {
+			t.Fatalf("replay %s: rcode=%v answers=%d", q, m.Rcode, len(m.Answer))
+		}
+		if got := m.Answer[0].Data.String(); got != wantAnswers[q] {
+			t.Errorf("replay %s: answer %s want %s", q, got, wantAnswers[q])
+		}
+	}
+}
+
+func TestFirstAnswerWinsOnConflict(t *testing.T) {
+	c := New()
+	srcA := netip.MustParseAddr("192.0.2.1")
+	srcB := netip.MustParseAddr("192.0.2.2")
+	mk := func(ip string) *dnsmsg.Msg {
+		return &dnsmsg.Msg{
+			Response: true,
+			Answer: []dnsmsg.RR{{
+				Name: "cdn.example.com.", Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 30,
+				Data: dnsmsg.A{Addr: netip.MustParseAddr(ip)},
+			}},
+			Authority: []dnsmsg.RR{{
+				Name: "example.com.", Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET, TTL: 300,
+				Data: dnsmsg.NS{Host: "ns.example.com."},
+			}},
+			Additional: []dnsmsg.RR{{
+				Name: "ns.example.com.", Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 300,
+				Data: dnsmsg.A{Addr: srcA},
+			}},
+		}
+	}
+	// The same CDN name answered differently over time (load balancing).
+	c.AddResponse(srcA, mk("203.0.113.1"))
+	c.AddResponse(srcB, mk("203.0.113.2"))
+	built, err := c.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := built.Zones["example.com."]
+	if z == nil {
+		t.Fatalf("origins=%v", built.Origins)
+	}
+	set, ok := z.Lookup("cdn.example.com.", dnsmsg.TypeA)
+	if !ok || len(set.Data) != 1 {
+		t.Fatalf("set=%+v", set)
+	}
+	if got := set.Data[0].(dnsmsg.A).Addr.String(); got != "203.0.113.1" {
+		t.Errorf("kept %s, want the first answer", got)
+	}
+}
+
+func TestAuthoritativeCaptureSingleZone(t *testing.T) {
+	// A capture at one authoritative server with no NS records at all
+	// (pure A answers): reconstruction falls back to one zone at the
+	// common ancestor (§2.3's "straightforward" authoritative case).
+	c := New()
+	src := netip.MustParseAddr("192.0.2.1")
+	for _, host := range []string{"a.example.com.", "b.example.com."} {
+		c.AddResponse(src, &dnsmsg.Msg{
+			Response: true,
+			Answer: []dnsmsg.RR{{
+				Name: dnsmsg.Name(host), Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 60,
+				Data: dnsmsg.A{Addr: netip.MustParseAddr("203.0.113.9")},
+			}},
+		})
+	}
+	built, err := c.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Origins) != 1 || built.Origins[0] != "example.com." {
+		t.Fatalf("origins=%v want [example.com.]", built.Origins)
+	}
+	z := built.Zones["example.com."]
+	if err := z.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	if _, ok := z.Lookup("a.example.com.", dnsmsg.TypeA); !ok {
+		t.Error("record missing after rebuild")
+	}
+}
+
+func TestProberFillsMissingNS(t *testing.T) {
+	c := New()
+	src := netip.MustParseAddr("192.0.2.1")
+	// NS for the domain observed only via authority section of another
+	// server; its own zone has no NS answer.
+	c.AddResponse(src, &dnsmsg.Msg{
+		Response: true,
+		Authority: []dnsmsg.RR{{
+			Name: "example.net.", Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET, TTL: 300,
+			Data: dnsmsg.NS{Host: "ns.example.net."},
+		}},
+	})
+	probed := 0
+	built, err := c.Build(func(domain dnsmsg.Name) []dnsmsg.RR {
+		probed++
+		return []dnsmsg.RR{{
+			Name: domain, Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET, TTL: 600,
+			Data: dnsmsg.NS{Host: dnsmsg.Name("probed-ns." + string(domain))},
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = built
+	z := built.Zones["example.net."]
+	set, ok := z.Lookup("example.net.", dnsmsg.TypeNS)
+	if !ok {
+		t.Fatal("NS still missing")
+	}
+	// The observed NS was placed; probe only fires when truly absent.
+	if probed != 0 && len(set.Data) == 0 {
+		t.Error("prober used despite observed NS")
+	}
+}
+
+func TestEmptyConstructor(t *testing.T) {
+	built, err := New().Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Origins) != 0 {
+		t.Errorf("origins=%v", built.Origins)
+	}
+}

@@ -1,0 +1,32 @@
+// Command gen-testdata writes the sample zone files in testdata/ that
+// the README quickstart and the CLI integration tests use.
+package main
+
+import (
+	"log"
+	"os"
+
+	"ldplayer/internal/zonegen"
+)
+
+func main() {
+	write := func(path string, wf func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := wf(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		log.Printf("wrote %s", path)
+	}
+	write("testdata/root.zone", func(f *os.File) error {
+		_, err := zonegen.RootZone(nil).WriteTo(f)
+		return err
+	})
+	write("testdata/example.com.zone", func(f *os.File) error {
+		_, err := zonegen.WildcardZone("example.com.").WriteTo(f)
+		return err
+	})
+}

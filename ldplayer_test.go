@@ -1,0 +1,177 @@
+package ldplayer
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"ldplayer/internal/workload"
+	"ldplayer/internal/zonegen"
+)
+
+// The facade test exercises the complete public API the README promises:
+// parse a zone, start a server, generate + mutate + convert a trace,
+// replay it, emulate the hierarchy, and run an experiment.
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Zones parse through the facade.
+	z, err := ParseZone(strings.NewReader(`
+$ORIGIN example.com.
+@ IN SOA ns1 admin 1 1 1 1 300
+@ IN NS ns1
+ns1 IN A 192.0.2.53
+* IN A 192.0.2.99
+`), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server over loopback.
+	srv := NewServer(ServerConfig{})
+	if err := srv.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.ServeUDP(ctx, pc)
+	target := pc.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// Trace generation + mutation through the facade surface.
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: 2 * time.Millisecond,
+		Duration:     200 * time.Millisecond,
+		Clients:      5,
+		Seed:         1,
+	})
+	mutated, err := MutateTrace(tr, QueriesOnly(), SetDO(1.0, 1232), PrefixQNames("api-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mutated.Events) != len(tr.Events) {
+		t.Fatalf("mutation dropped events: %d vs %d", len(mutated.Events), len(tr.Events))
+	}
+
+	// Round trip through the binary format.
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	for _, e := range mutated.Events {
+		if err := bw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay from the serialized stream.
+	rep, err := Replay(ctx, ReplayConfig{
+		Server: netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), target.Port()),
+	}, NewBinaryReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(rep.Sent) != len(mutated.Events) || rep.Responses != rep.Sent {
+		t.Fatalf("sent=%d responses=%d want %d", rep.Sent, rep.Responses, len(mutated.Events))
+	}
+}
+
+func TestPublicAPIHierarchy(t *testing.T) {
+	h, err := GenerateHierarchy(zonegen.Config{TLDs: []string{"com"}, SLDsPerTLD: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewEmulation(h, DefaultEmulationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := ParseName("www." + string(h.SLDs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := em.Resolve(context.Background(), name, 1 /* TypeA */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answer) == 0 {
+		t.Fatalf("no answer: %+v", m)
+	}
+}
+
+func TestPublicAPITextFormat(t *testing.T) {
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: time.Millisecond, Duration: 10 * time.Millisecond, Clients: 2, Seed: 3,
+	})
+	var buf bytes.Buffer
+	tw := NewTextWriter(&buf)
+	for _, e := range tr.Events {
+		if err := tw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewTextReader(&buf)
+	n := 0
+	for {
+		if _, err := r.Read(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(tr.Events) {
+		t.Fatalf("text round trip: %d of %d", n, len(tr.Events))
+	}
+}
+
+func TestPublicAPIPcap(t *testing.T) {
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: time.Millisecond, Duration: 5 * time.Millisecond, Clients: 2, Seed: 4,
+	})
+	var buf bytes.Buffer
+	pw := NewPcapWriter(&buf)
+	for _, e := range tr.Events {
+		if err := pw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ReadPcapDNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := pr.Read(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != len(tr.Events) {
+		t.Fatalf("pcap round trip: %d of %d", n, len(tr.Events))
+	}
+}
+
+func TestPublicAPIExperiment(t *testing.T) {
+	res, err := RunExperiment("table1", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || res.ID != "table1" {
+		t.Fatalf("result=%+v", res)
+	}
+}
