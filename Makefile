@@ -21,8 +21,10 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Benchmarks (allocs/op on the transport exchange hot path included);
+# results are recorded in bench.out for comparison across changes.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./... | tee bench.out
 
 # Regenerate every table and figure (about six minutes at small scale).
 experiments:

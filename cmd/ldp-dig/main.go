@@ -10,17 +10,20 @@
 package main
 
 import (
+	"context"
 	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"net/netip"
 	"os"
 	"time"
 
 	"ldplayer/internal/dnsmsg"
 	server2 "ldplayer/internal/server"
+	"ldplayer/internal/transport"
 )
 
 func main() {
@@ -84,34 +87,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	start := time.Now()
-	var respWire []byte
+	proto := transport.UDP
 	switch {
 	case *useTLS:
-		respWire = streamQuery(tlsDial(*server, *timeout), wire, *timeout)
+		proto = transport.TLS
 	case *useTCP:
-		conn, err := net.DialTimeout("tcp", *server, *timeout)
-		if err != nil {
-			log.Fatal(err)
-		}
-		respWire = streamQuery(conn, wire, *timeout)
-	default:
-		conn, err := net.DialTimeout("udp", *server, *timeout)
-		if err != nil {
-			log.Fatal(err)
-		}
-		conn.SetDeadline(time.Now().Add(*timeout))
-		if _, err := conn.Write(wire); err != nil {
-			log.Fatal(err)
-		}
-		buf := make([]byte, 64*1024)
-		n, err := conn.Read(buf)
-		if err != nil {
-			log.Fatal(err)
-		}
-		respWire = buf[:n]
-		conn.Close()
+		proto = transport.TCP
 	}
+	dialer := &transport.NetDialer{Dialer: net.Dialer{Timeout: *timeout}}
+	if *useTLS {
+		dialer.TLSConfig = &tls.Config{InsecureSkipVerify: true}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	ep, err := dialer.Dial(ctx, proto, resolveAddr(*server))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	ep.SetDeadline(time.Now().Add(*timeout))
+	if err := ep.Send(wire); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, transport.BufSize)
+	n, err := ep.Recv(buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	respWire := buf[:n]
 	elapsed := time.Since(start)
 
 	var resp dnsmsg.Msg
@@ -125,24 +130,15 @@ func main() {
 	}
 }
 
-func tlsDial(server string, timeout time.Duration) net.Conn {
-	d := net.Dialer{Timeout: timeout}
-	conn, err := tls.DialWithDialer(&d, "tcp", server, &tls.Config{InsecureSkipVerify: true})
+// resolveAddr turns host:port (host may be a name) into an address the
+// transport dialer accepts.
+func resolveAddr(server string) netip.AddrPort {
+	if ap, err := netip.ParseAddrPort(server); err == nil {
+		return ap
+	}
+	ua, err := net.ResolveUDPAddr("udp", server)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return conn
-}
-
-func streamQuery(conn net.Conn, wire []byte, timeout time.Duration) []byte {
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
-	if err := dnsmsg.WriteTCPMsg(conn, wire); err != nil {
-		log.Fatal(err)
-	}
-	out, err := dnsmsg.ReadTCPMsg(conn)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return out
+	return ua.AddrPort()
 }

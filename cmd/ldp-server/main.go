@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ldplayer/internal/server"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/zone"
 )
 
@@ -71,19 +72,19 @@ func main() {
 	errCh := make(chan error, 3)
 
 	if *udpAddr != "" {
-		pc, err := net.ListenPacket("udp", *udpAddr)
+		pc, addr, err := transport.ListenUDP(*udpAddr)
 		if err != nil {
 			log.Fatalf("udp listen: %v", err)
 		}
-		log.Printf("udp on %s", pc.LocalAddr())
+		log.Printf("udp on %s", addr)
 		go func() { errCh <- srv.ServeUDP(ctx, pc) }()
 	}
 	if *tcpAddr != "" {
-		ln, err := net.Listen("tcp", *tcpAddr)
+		ln, addr, err := transport.ListenTCP(*tcpAddr)
 		if err != nil {
 			log.Fatalf("tcp listen: %v", err)
 		}
-		log.Printf("tcp on %s (idle timeout %v)", ln.Addr(), *timeout)
+		log.Printf("tcp on %s (idle timeout %v)", addr, *timeout)
 		go func() { errCh <- srv.ServeTCP(ctx, ln) }()
 	}
 	if *tlsAddr != "" {
@@ -95,11 +96,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("tls cert: %v", err)
 		}
-		ln, err := net.Listen("tcp", *tlsAddr)
+		ln, addr, err := transport.ListenTCP(*tlsAddr)
 		if err != nil {
 			log.Fatalf("tls listen: %v", err)
 		}
-		log.Printf("tls on %s (self-signed for %q)", ln.Addr(), host)
+		log.Printf("tls on %s (self-signed for %q)", addr, host)
 		go func() { errCh <- srv.ServeTLS(ctx, ln, tlsCfg) }()
 	}
 

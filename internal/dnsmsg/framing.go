@@ -47,6 +47,32 @@ func ReadTCPMsg(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadTCPMsgInto reads one length-prefixed DNS message into buf and
+// returns its length, avoiding the per-message allocation of ReadTCPMsg.
+// buf must be at least as large as the framed message (64 KiB always
+// suffices). It returns io.EOF cleanly when the stream ends on a message
+// boundary.
+func ReadTCPMsgInto(r io.Reader, buf []byte) (int, error) {
+	var pfx [2]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return 0, err // io.EOF on clean close
+	}
+	n := int(binary.BigEndian.Uint16(pfx[:]))
+	if n == 0 {
+		return 0, fmt.Errorf("%w: zero length", ErrLengthPrefix)
+	}
+	if n > len(buf) {
+		return 0, fmt.Errorf("%w: message of %d bytes exceeds %d-byte buffer", ErrLengthPrefix, n, len(buf))
+	}
+	if _, err := io.ReadFull(r, buf[:n]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	return n, nil
+}
+
 // AppendTCPMsg appends the length-prefixed form of msg to dst, for
 // batching multiple messages into one write.
 func AppendTCPMsg(dst, msg []byte) ([]byte, error) {

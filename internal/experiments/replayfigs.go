@@ -3,7 +3,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"net"
 	"net/netip"
 	"sort"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"ldplayer/internal/replay"
 	"ldplayer/internal/server"
 	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/workload"
 	"ldplayer/internal/zonegen"
 )
@@ -36,11 +36,11 @@ func startLiveServer() (*liveServer, error) {
 	if err := s.AddZone(zonegen.RootZone(nil)); err != nil {
 		return nil, err
 	}
-	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	pc, addr, err := transport.ListenUDP("127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", pc.LocalAddr().String())
+	ln, _, err := transport.ListenTCP(addr.String())
 	if err != nil {
 		pc.Close()
 		return nil, err
@@ -48,12 +48,7 @@ func startLiveServer() (*liveServer, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	go s.ServeUDP(ctx, pc)
 	go s.ServeTCP(ctx, ln)
-	port := pc.LocalAddr().(*net.UDPAddr).AddrPort().Port()
-	return &liveServer{
-		srv:    s,
-		addr:   netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), port),
-		cancel: cancel,
-	}, nil
+	return &liveServer{srv: s, addr: addr, cancel: cancel}, nil
 }
 
 func (ls *liveServer) stop() { ls.cancel() }

@@ -9,15 +9,14 @@ package hierarchy
 
 import (
 	"context"
-	"fmt"
 	"net/netip"
-	"sync"
 
 	"ldplayer/internal/cache"
 	"ldplayer/internal/dnsmsg"
 	"ldplayer/internal/proxy"
 	"ldplayer/internal/resolver"
 	"ldplayer/internal/server"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/vnet"
 	"ldplayer/internal/zonegen"
 )
@@ -53,7 +52,7 @@ type Emulation struct {
 	RecProxy  *proxy.Recursive
 	AuthProxy *proxy.Authoritative
 	cfg       Config
-	exch      *vnetExchanger
+	host      *transport.VNetHost
 }
 
 // New wires the full proxy + split-horizon emulation for a hierarchy.
@@ -118,13 +117,13 @@ func New(h *zonegen.Hierarchy, cfg Config) (*Emulation, error) {
 		})
 	})
 
-	// Recursive host endpoint: match replies to outstanding exchanges.
-	em.exch = newVnetExchanger(net, cfg.RecursiveAddr)
-	net.Attach(cfg.RecursiveAddr, em.exch.handleReply)
+	// Recursive host endpoint: the transport layer's vnet host demuxes
+	// replies to the per-query endpoints the exchanger opens.
+	em.host = transport.NewVNetHost(net, cfg.RecursiveAddr)
 
 	res, err := resolver.New(resolver.Config{
 		Roots:    []netip.AddrPort{netip.AddrPortFrom(zonegen.RootAddr, 53)},
-		Exchange: em.exch,
+		Exchange: &transport.Exchanger{Dialer: em.host, DisableTCPFallback: true},
 		Cache:    cfg.Cache,
 		EDNSSize: cfg.EDNSSize,
 		DO:       cfg.DO,
@@ -140,77 +139,6 @@ func New(h *zonegen.Hierarchy, cfg Config) (*Emulation, error) {
 // Resolve runs one query through the emulated hierarchy.
 func (em *Emulation) Resolve(ctx context.Context, name dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Msg, error) {
 	return em.Resolver.Resolve(ctx, name, qtype)
-}
-
-// vnetExchanger implements resolver.Exchanger over the virtual network.
-// Each in-flight query holds a pseudo-ephemeral port; replies are matched
-// by that port. Channels are buffered because vnet delivery is
-// synchronous (the reply arrives inside Send).
-type vnetExchanger struct {
-	net  *vnet.Network
-	addr netip.Addr
-
-	mu       sync.Mutex
-	nextPort uint16
-	pending  map[uint16]chan []byte
-}
-
-func newVnetExchanger(n *vnet.Network, addr netip.Addr) *vnetExchanger {
-	return &vnetExchanger{net: n, addr: addr, nextPort: 20000, pending: make(map[uint16]chan []byte)}
-}
-
-func (x *vnetExchanger) Exchange(ctx context.Context, srv netip.AddrPort, q *dnsmsg.Msg) (*dnsmsg.Msg, error) {
-	wire, err := q.Pack()
-	if err != nil {
-		return nil, err
-	}
-	ch := make(chan []byte, 1)
-	x.mu.Lock()
-	x.nextPort++
-	if x.nextPort < 20000 {
-		x.nextPort = 20000
-	}
-	port := x.nextPort
-	x.pending[port] = ch
-	x.mu.Unlock()
-	defer func() {
-		x.mu.Lock()
-		delete(x.pending, port)
-		x.mu.Unlock()
-	}()
-
-	if err := x.net.Send(vnet.Packet{
-		Src:     netip.AddrPortFrom(x.addr, port),
-		Dst:     srv,
-		Payload: wire,
-	}); err != nil {
-		return nil, err
-	}
-	select {
-	case resp := <-ch:
-		var m dnsmsg.Msg
-		if err := m.Unpack(resp); err != nil {
-			return nil, err
-		}
-		if m.ID != q.ID {
-			return nil, fmt.Errorf("hierarchy: reply ID %d does not match query %d", m.ID, q.ID)
-		}
-		return &m, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-func (x *vnetExchanger) handleReply(pkt vnet.Packet) {
-	x.mu.Lock()
-	ch, ok := x.pending[pkt.Dst.Port()]
-	x.mu.Unlock()
-	if ok {
-		select {
-		case ch <- pkt.Payload:
-		default:
-		}
-	}
 }
 
 // NewDirect builds the no-proxy, no-split-horizon comparison the paper
@@ -247,11 +175,10 @@ func NewDirect(h *zonegen.Hierarchy, cfg Config) (*Emulation, error) {
 	for _, addr := range h.NSAddr {
 		net.Attach(addr, handler)
 	}
-	em.exch = newVnetExchanger(net, cfg.RecursiveAddr)
-	net.Attach(cfg.RecursiveAddr, em.exch.handleReply)
+	em.host = transport.NewVNetHost(net, cfg.RecursiveAddr)
 	res, err := resolver.New(resolver.Config{
 		Roots:    []netip.AddrPort{netip.AddrPortFrom(zonegen.RootAddr, 53)},
-		Exchange: em.exch,
+		Exchange: &transport.Exchanger{Dialer: em.host, DisableTCPFallback: true},
 		Cache:    cfg.Cache,
 		EDNSSize: cfg.EDNSSize,
 		DO:       cfg.DO,

@@ -7,6 +7,7 @@ import (
 
 	"ldplayer/internal/dnsmsg"
 	"ldplayer/internal/resolver"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/zonegen"
 )
 
@@ -188,4 +189,4 @@ func TestSignedHierarchyServesDNSSEC(t *testing.T) {
 }
 
 // The resolver's interface contract holds through the whole emulation.
-var _ resolver.Exchanger = (*vnetExchanger)(nil)
+var _ resolver.Exchanger = (*transport.Exchanger)(nil)

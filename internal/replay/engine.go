@@ -133,6 +133,7 @@ func (e *Engine) Run(ctx context.Context, input trace.Reader) (*Report, error) {
 		rep.SendErrs += qr.sendErrs
 		rep.Timeouts += qr.timeouts
 		rep.ConnsOpened += qr.connsOpened
+		rep.IDExhausted += qr.idExhausted
 		rep.BytesSent += qr.bytesSent
 		rep.Results = append(rep.Results, qr.results...)
 		if !qr.firstSend.IsZero() && (firstSend.IsZero() || qr.firstSend.Before(firstSend)) {

@@ -2,17 +2,17 @@ package replay
 
 import (
 	"context"
-	"net/netip"
 	"sync"
 	"time"
 
 	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
 )
 
-// querier is the bottom of the distribution tree: it owns the sockets,
-// emulates query sources, schedules sends against the trace timeline and
-// matches responses. One goroutine runs the send loop; each socket has a
-// reader goroutine.
+// querier is the bottom of the distribution tree: it owns the per-source
+// connections, emulates query sources, schedules sends against the trace
+// timeline and matches responses. One goroutine runs the send loop; each
+// connection's read loop lives inside transport.Conn.
 type querier struct {
 	in  chan item
 	cfg Config
@@ -24,9 +24,8 @@ type querier struct {
 	// lastOffset supports the naive-timing ablation.
 	lastOffset time.Duration
 
-	// Sockets per emulated source.
-	udp     map[netip.Addr]*udpSock
-	streams map[netip.Addr]*streamConn
+	// One transport.Conn per emulated (source, protocol).
+	conns map[connKey]*transport.Conn
 
 	mu sync.Mutex // guards the result fields below (readers report in)
 	queryReport
@@ -39,6 +38,7 @@ type queryReport struct {
 	sendErrs    uint64
 	timeouts    uint64
 	connsOpened uint64
+	idExhausted uint64
 	bytesSent   uint64
 	firstSend   time.Time
 	lastSend    time.Time
@@ -47,10 +47,9 @@ type queryReport struct {
 
 func newQuerier(cfg Config) *querier {
 	return &querier{
-		in:      make(chan item, cfg.ChannelDepth),
-		cfg:     cfg,
-		udp:     make(map[netip.Addr]*udpSock),
-		streams: make(map[netip.Addr]*streamConn),
+		in:    make(chan item, cfg.ChannelDepth),
+		cfg:   cfg,
+		conns: make(map[connKey]*transport.Conn),
 	}
 }
 
@@ -97,7 +96,7 @@ func (q *querier) run(ctx context.Context) {
 	q.drain()
 }
 
-// send dispatches one query on the right socket for its source. The
+// send dispatches one query on the right connection for its source. The
 // result slot is reserved before the write so a response racing back on
 // loopback always finds it.
 func (q *querier) send(it item) {
@@ -115,18 +114,12 @@ func (q *querier) send(it item) {
 		idx = len(q.results) - 1
 		q.mu.Unlock()
 	}
-	var fresh bool
-	var err error
-	switch it.ev.Proto {
-	case trace.UDP:
-		err = q.sendUDP(it, idx)
-	default: // TCP and TLS share the stream path
-		fresh, err = q.sendStream(it, idx)
-	}
+	c := q.connFor(it.ev.Src.Addr(), it.ev.Proto)
+	fresh, err := c.Send(it.ev.Wire, idx)
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if idx >= 0 {
+	if idx >= 0 && it.ev.Proto != trace.UDP {
 		q.results[idx].FreshConn = fresh
 	}
 	if err != nil {
@@ -141,7 +134,7 @@ func (q *querier) send(it item) {
 	q.lastSend = now
 }
 
-// recordResponse is called from socket reader goroutines.
+// recordResponse is called from connection read loops.
 func (q *querier) recordResponse(resultIdx int, rtt time.Duration) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -151,7 +144,18 @@ func (q *querier) recordResponse(resultIdx int, rtt time.Duration) {
 	}
 }
 
-// drain waits for outstanding responses, then closes sockets.
+// recordDrop is called when an in-flight query will never be answered:
+// its connection died or was closed at drain. Either way the query timed
+// out from the trace's point of view.
+func (q *querier) recordDrop() {
+	q.mu.Lock()
+	q.timeouts++
+	q.mu.Unlock()
+}
+
+// drain waits for outstanding responses, then closes the connections
+// (failing any stragglers out through recordDrop) and folds per-conn
+// counters into the report.
 func (q *querier) drain() {
 	deadline := time.Now().Add(q.cfg.ResponseTimeout)
 	for time.Now().Before(deadline) {
@@ -160,30 +164,24 @@ func (q *querier) drain() {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	var dials, exhausted uint64
+	for key, c := range q.conns {
+		c.Close()
+		if key.proto != trace.UDP {
+			dials += c.Dials()
+		}
+		exhausted += c.IDExhausted()
+	}
 	q.mu.Lock()
-	q.timeouts += uint64(q.outstandingLocked())
+	q.connsOpened += dials
+	q.idExhausted += exhausted
 	q.mu.Unlock()
-	for _, s := range q.udp {
-		s.close()
-	}
-	for _, s := range q.streams {
-		s.close()
-	}
 }
 
 func (q *querier) outstanding() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.outstandingLocked()
-}
-
-func (q *querier) outstandingLocked() int {
 	n := 0
-	for _, s := range q.udp {
-		n += s.pendingCount()
-	}
-	for _, s := range q.streams {
-		n += s.pendingCount()
+	for _, c := range q.conns {
+		n += c.Pending()
 	}
 	return n
 }

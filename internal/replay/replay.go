@@ -116,6 +116,10 @@ type Report struct {
 	Timeouts  uint64
 	// ConnsOpened counts TCP/TLS connections the queriers created.
 	ConnsOpened uint64
+	// IDExhausted counts sends refused because a connection had all
+	// 65536 DNS query IDs in flight (the trace outran the server by a
+	// full ID space on one source).
+	IDExhausted uint64
 	// Duration is wall-clock time from first to last send.
 	Duration time.Duration
 	// BytesSent counts query payload bytes.

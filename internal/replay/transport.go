@@ -1,241 +1,70 @@
 package replay
 
 import (
-	"crypto/tls"
+	"context"
 	"fmt"
-	"net"
-	"sync"
+	"net/netip"
 	"time"
 
-	"ldplayer/internal/dnsmsg"
 	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
 )
 
-// Each emulated query source gets its own socket, so the server observes
-// distinct (address, port) client endpoints and per-source connection
-// reuse works exactly as in the paper (§2.6). DNS message IDs are
-// rewritten per socket so responses match even when the original trace
-// reused IDs across sources.
+// Each emulated query source gets its own connection, so the server
+// observes distinct (address, port) client endpoints and per-source
+// connection reuse works exactly as in the paper (§2.6). Query-ID
+// rewriting, pending tracking, idle-timeout reuse and reconnect-on-error
+// all live in transport.Conn; this file only maps trace sources onto
+// Conns and wires the querier's accounting into the Conn callbacks.
 
-// pendingQuery tracks one in-flight query on a socket.
-type pendingQuery struct {
-	sentAt    time.Time
-	resultIdx int
+// connKey identifies one emulated source connection: sources that mix
+// protocols (rare in real traces, common in tests) get one connection
+// per protocol, like separate sockets on a real client.
+type connKey struct {
+	src   netip.Addr
+	proto trace.Proto
 }
 
-// udpSock is one emulated UDP source.
-type udpSock struct {
-	conn *net.UDPConn
-	q    *querier
-
-	mu      sync.Mutex
-	nextID  uint16
-	pending map[uint16]pendingQuery
-	closed  bool
+// connFor returns (creating on first use) the connection for a source.
+func (q *querier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
+	key := connKey{src: src, proto: proto}
+	if c := q.conns[key]; c != nil {
+		return c
+	}
+	cfg := transport.ConnConfig{
+		Dial: q.dialFunc(proto),
+		OnResponse: func(token any, rtt time.Duration, _ []byte) {
+			q.recordResponse(token.(int), rtt)
+		},
+		OnDrop: func(any) { q.recordDrop() },
+	}
+	if proto != trace.UDP {
+		cfg.IdleTimeout = q.cfg.ConnIdleTimeout
+	}
+	c := transport.NewConn(cfg)
+	q.conns[key] = c
+	return c
 }
 
-func (q *querier) sendUDP(it item, resultIdx int) error {
-	src := it.ev.Src.Addr()
-	s := q.udp[src]
-	if s == nil {
-		raddr := net.UDPAddrFromAddrPort(q.cfg.Server)
-		conn, err := net.DialUDP("udp", nil, raddr)
-		if err != nil {
-			return err
+// dialFunc builds the per-protocol dialer a source connection uses.
+func (q *querier) dialFunc(proto trace.Proto) func() (transport.Endpoint, error) {
+	cfg := q.cfg
+	dialer := &transport.NetDialer{TLSConfig: cfg.TLSConfig}
+	switch proto {
+	case trace.UDP:
+		return func() (transport.Endpoint, error) {
+			return dialer.Dial(context.Background(), transport.UDP, cfg.Server)
 		}
-		s = &udpSock{conn: conn, q: q, pending: make(map[uint16]pendingQuery)}
-		q.udp[src] = s
-		go s.readLoop()
-	}
-	s.mu.Lock()
-	s.nextID++
-	id := s.nextID
-	s.pending[id] = pendingQuery{sentAt: time.Now(), resultIdx: resultIdx}
-	s.mu.Unlock()
-
-	wire := it.ev.Wire
-	patched := make([]byte, len(wire))
-	copy(patched, wire)
-	patched[0], patched[1] = byte(id>>8), byte(id)
-	if _, err := s.conn.Write(patched); err != nil {
-		s.mu.Lock()
-		delete(s.pending, id)
-		s.mu.Unlock()
-		return err
-	}
-	return nil
-}
-
-func (s *udpSock) readLoop() {
-	buf := make([]byte, 64*1024)
-	for {
-		n, err := s.conn.Read(buf)
-		if err != nil {
-			return
-		}
-		if n < 2 {
-			continue
-		}
-		id := uint16(buf[0])<<8 | uint16(buf[1])
-		s.mu.Lock()
-		p, ok := s.pending[id]
-		if ok {
-			delete(s.pending, id)
-		}
-		s.mu.Unlock()
-		if ok {
-			s.q.recordResponse(p.resultIdx, time.Since(p.sentAt))
-		}
-	}
-}
-
-func (s *udpSock) pendingCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pending)
-}
-
-func (s *udpSock) close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.conn.Close()
-}
-
-// streamConn is one emulated TCP or TLS source with connection reuse:
-// the connection stays open for ConnIdleTimeout after its last use and
-// queries from its source reuse it while it lives.
-type streamConn struct {
-	q     *querier
-	proto string
-
-	mu      sync.Mutex
-	conn    net.Conn
-	nextID  uint16
-	pending map[uint16]pendingQuery
-	idle    *time.Timer
-	closed  bool
-}
-
-func (q *querier) sendStream(it item, resultIdx int) (fresh bool, err error) {
-	src := it.ev.Src.Addr()
-	s := q.streams[src]
-	if s == nil {
-		s = &streamConn{q: q}
-		q.streams[src] = s
-	}
-	return s.send(it, resultIdx)
-}
-
-func (s *streamConn) send(it item, resultIdx int) (fresh bool, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn == nil {
-		if err := s.dialLocked(it); err != nil {
-			return true, err
-		}
-		fresh = true
-	}
-	s.touchLocked()
-	s.nextID++
-	id := s.nextID
-	s.pending[id] = pendingQuery{sentAt: time.Now(), resultIdx: resultIdx}
-
-	wire := make([]byte, len(it.ev.Wire))
-	copy(wire, it.ev.Wire)
-	wire[0], wire[1] = byte(id>>8), byte(id)
-	if err := dnsmsg.WriteTCPMsg(s.conn, wire); err != nil {
-		delete(s.pending, id)
-		s.conn.Close()
-		s.conn = nil
-		return fresh, err
-	}
-	return fresh, nil
-}
-
-func (s *streamConn) dialLocked(it item) error {
-	cfg := s.q.cfg
-	var conn net.Conn
-	var err error
-	switch {
-	case it.ev.Proto == trace.TLS && cfg.TLSConfig != nil:
-		conn, err = tls.Dial("tcp", cfg.TLSServer.String(), cfg.TLSConfig)
-	case it.ev.Proto == trace.TLS:
-		return fmt.Errorf("replay: TLS query but no TLS config")
-	default:
-		conn, err = net.Dial("tcp", cfg.Server.String())
-	}
-	if err != nil {
-		return err
-	}
-	s.conn = conn
-	s.pending = make(map[uint16]pendingQuery)
-	s.q.mu.Lock()
-	s.q.connsOpened++
-	s.q.mu.Unlock()
-	go s.readLoop(conn)
-	return nil
-}
-
-// touchLocked (re)arms the idle-close timer.
-func (s *streamConn) touchLocked() {
-	if s.idle != nil {
-		s.idle.Stop()
-	}
-	s.idle = time.AfterFunc(s.q.cfg.ConnIdleTimeout, func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.conn != nil {
-			s.conn.Close()
-			s.conn = nil
-		}
-	})
-}
-
-func (s *streamConn) readLoop(conn net.Conn) {
-	for {
-		wire, err := dnsmsg.ReadTCPMsg(conn)
-		if err != nil {
-			// Connection closed (idle timeout at either side, or error):
-			// a fresh one is dialed on next use.
-			s.mu.Lock()
-			if s.conn == conn {
-				s.conn = nil
+	case trace.TLS:
+		return func() (transport.Endpoint, error) {
+			if cfg.TLSConfig == nil {
+				return nil, fmt.Errorf("replay: TLS query but no TLS config")
 			}
-			s.mu.Unlock()
-			return
+			return dialer.Dial(context.Background(), transport.TLS, cfg.TLSServer)
 		}
-		if len(wire) < 2 {
-			continue
+	default:
+		return func() (transport.Endpoint, error) {
+			return dialer.Dial(context.Background(), transport.TCP, cfg.Server)
 		}
-		id := uint16(wire[0])<<8 | uint16(wire[1])
-		s.mu.Lock()
-		p, ok := s.pending[id]
-		if ok {
-			delete(s.pending, id)
-		}
-		s.mu.Unlock()
-		if ok {
-			s.q.recordResponse(p.resultIdx, time.Since(p.sentAt))
-		}
-	}
-}
-
-func (s *streamConn) pendingCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pending)
-}
-
-func (s *streamConn) close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.closed = true
-	if s.idle != nil {
-		s.idle.Stop()
-	}
-	if s.conn != nil {
-		s.conn.Close()
-		s.conn = nil
 	}
 }

@@ -2,18 +2,19 @@ package resolver
 
 import (
 	"context"
-	"fmt"
-	"net"
 	"net/netip"
 	"time"
 
 	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/transport"
 )
 
 // UDPExchanger sends queries over real UDP sockets with the standard
 // truncation fallback: a TC=1 response triggers a retry over TCP. This
 // is the exchanger a stand-alone recursive deployment uses; testbed
-// configurations swap in the vnet or netsim exchangers.
+// configurations swap in exchangers over the vnet fabric. It is a thin
+// front on transport.Exchanger, which owns the dial/deadline/ID-match
+// machinery shared with the rest of the system.
 type UDPExchanger struct {
 	// Timeout per attempt (default 2 s).
 	Timeout time.Duration
@@ -23,81 +24,10 @@ type UDPExchanger struct {
 
 // Exchange implements Exchanger.
 func (x *UDPExchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnsmsg.Msg) (*dnsmsg.Msg, error) {
-	timeout := x.Timeout
-	if timeout <= 0 {
-		timeout = 2 * time.Second
+	tx := transport.Exchanger{
+		Proto:              transport.UDP,
+		Timeout:            x.Timeout,
+		DisableTCPFallback: x.DisableTCPFallback,
 	}
-	wire, err := q.Pack()
-	if err != nil {
-		return nil, err
-	}
-	resp, err := x.udpRound(ctx, server, q.ID, wire, timeout)
-	if err != nil {
-		return nil, err
-	}
-	if resp.Truncated && !x.DisableTCPFallback {
-		return x.tcpRound(ctx, server, q.ID, wire, timeout)
-	}
-	return resp, nil
-}
-
-func (x *UDPExchanger) udpRound(ctx context.Context, server netip.AddrPort, id uint16, wire []byte, timeout time.Duration) (*dnsmsg.Msg, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "udp", server.String())
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	deadline := time.Now().Add(timeout)
-	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
-		deadline = dl
-	}
-	conn.SetDeadline(deadline)
-	if _, err := conn.Write(wire); err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 64*1024)
-	for {
-		n, err := conn.Read(buf)
-		if err != nil {
-			return nil, fmt.Errorf("resolver: udp exchange with %s: %w", server, err)
-		}
-		var m dnsmsg.Msg
-		if err := m.Unpack(buf[:n]); err != nil {
-			continue // not ours; keep waiting until the deadline
-		}
-		if m.ID != id {
-			continue
-		}
-		return &m, nil
-	}
-}
-
-func (x *UDPExchanger) tcpRound(ctx context.Context, server netip.AddrPort, id uint16, wire []byte, timeout time.Duration) (*dnsmsg.Msg, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", server.String())
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	deadline := time.Now().Add(timeout)
-	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
-		deadline = dl
-	}
-	conn.SetDeadline(deadline)
-	if err := dnsmsg.WriteTCPMsg(conn, wire); err != nil {
-		return nil, err
-	}
-	out, err := dnsmsg.ReadTCPMsg(conn)
-	if err != nil {
-		return nil, fmt.Errorf("resolver: tcp fallback with %s: %w", server, err)
-	}
-	var m dnsmsg.Msg
-	if err := m.Unpack(out); err != nil {
-		return nil, err
-	}
-	if m.ID != id {
-		return nil, fmt.Errorf("resolver: tcp fallback ID mismatch")
-	}
-	return &m, nil
+	return tx.Exchange(ctx, server, q)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/transport"
 )
 
 // The recursive replay mode of the paper's Fig 1: the query engine sends
@@ -56,7 +57,9 @@ func (r *Resolver) ServeUDP(ctx context.Context, conn net.PacketConn, maxInfligh
 	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
 	defer stop()
 	var inflight atomic.Int64
-	buf := make([]byte, 64*1024)
+	bp := transport.GetBuf()
+	defer transport.PutBuf(bp)
+	buf := *bp
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {

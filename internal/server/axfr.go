@@ -21,22 +21,28 @@ import (
 // ordinary records.
 const axfrChunkRecords = 100
 
-// handleAXFR streams the zone for q.Name to w as a sequence of DNS
+// msgSender is the sink handleAXFR streams to: anything that can send
+// one whole DNS message (a transport.Endpoint does the stream framing).
+type msgSender interface {
+	Send(msg []byte) error
+}
+
+// handleAXFR streams the zone for q.Name to ep as a sequence of DNS
 // messages: the SOA, all other records, and the SOA again (RFC 5936
 // §2.2). It returns an error message instead when the zone is absent.
-func (s *Server) handleAXFR(src netip.Addr, req *dnsmsg.Msg, w io.Writer) error {
+func (s *Server) handleAXFR(src netip.Addr, req *dnsmsg.Msg, ep msgSender) error {
 	q := req.Question[0]
 	v := s.viewFor(src)
 	if v == nil {
-		return s.axfrRefused(req, w)
+		return s.axfrRefused(req, ep)
 	}
 	z, ok := v.Zones.Get(q.Name) // transfers name exact zones only
 	if !ok {
-		return s.axfrRefused(req, w)
+		return s.axfrRefused(req, ep)
 	}
 	soa := z.SOA()
 	if soa == nil {
-		return s.axfrRefused(req, w)
+		return s.axfrRefused(req, ep)
 	}
 
 	// Assemble the record sequence: SOA, everything else, SOA.
@@ -63,7 +69,7 @@ func (s *Server) handleAXFR(src netip.Addr, req *dnsmsg.Msg, w io.Writer) error 
 		if err != nil {
 			return fmt.Errorf("server: axfr pack: %w", err)
 		}
-		if err := dnsmsg.WriteTCPMsg(w, wire); err != nil {
+		if err := ep.Send(wire); err != nil {
 			return err
 		}
 		s.stats.bytesOut.Add(uint64(len(wire) + 2))
@@ -72,7 +78,7 @@ func (s *Server) handleAXFR(src netip.Addr, req *dnsmsg.Msg, w io.Writer) error 
 	return nil
 }
 
-func (s *Server) axfrRefused(req *dnsmsg.Msg, w io.Writer) error {
+func (s *Server) axfrRefused(req *dnsmsg.Msg, ep msgSender) error {
 	var m dnsmsg.Msg
 	m.SetReply(req)
 	m.Rcode = dnsmsg.RcodeRefused
@@ -81,7 +87,7 @@ func (s *Server) axfrRefused(req *dnsmsg.Msg, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return dnsmsg.WriteTCPMsg(w, wire)
+	return ep.Send(wire)
 }
 
 // FetchAXFR is the client side: it requests a transfer of origin over an

@@ -11,11 +11,11 @@ import (
 	"errors"
 	"math/big"
 	"net"
-	"net/netip"
 	"sync/atomic"
 	"time"
 
 	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/transport"
 )
 
 // ServeUDP answers queries on conn until ctx is cancelled. It runs the
@@ -42,7 +42,9 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 }
 
 func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
-	buf := make([]byte, 64*1024)
+	bp := transport.GetBuf()
+	defer transport.PutBuf(bp)
+	buf := *bp
 	var req dnsmsg.Msg
 	for {
 		n, addr, err := conn.ReadFrom(buf)
@@ -61,16 +63,21 @@ func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
 		if err := req.Unpack(buf[:n]); err != nil {
 			continue // malformed datagrams are dropped, as servers do
 		}
-		src := addrOf(addr)
-		resp := s.HandleQuery(src, &req, s.cfg.MaxUDPSize)
+		src := transport.AddrPortOf(addr).Addr()
+		// Consult RRL before doing any lookup work: a dropped query must
+		// not cost a zone traversal, and a slipped one needs only the
+		// request header to build its truncated-empty reply.
+		var resp *dnsmsg.Msg
 		switch s.cfg.RRL.Check(src) {
 		case Drop:
 			continue
 		case Slip:
 			// Truncated-empty response: legitimate clients retry over
 			// TCP; reflection targets get no amplification.
+			resp = new(dnsmsg.Msg).SetReply(&req)
 			resp.Truncated = true
-			resp.Answer, resp.Authority, resp.Additional = nil, nil, nil
+		default:
+			resp = s.HandleQuery(src, &req, s.cfg.MaxUDPSize)
 		}
 		wire, err := resp.Pack()
 		if err != nil {
@@ -86,20 +93,26 @@ func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
 // length-prefixed queries and closing connections idle longer than the
 // configured timeout — the behaviour the TCP experiments sweep.
 func (s *Server) ServeTCP(ctx context.Context, ln net.Listener) error {
-	return s.serveStream(ctx, ln, &s.stats.tcpConnsOpen, &s.stats.tcpConnsTotal, &s.stats.tcpQueries)
+	return s.serveStream(ctx, transport.NewStreamListener(ln), &s.stats.tcpConnsOpen, &s.stats.tcpConnsTotal, &s.stats.tcpQueries)
 }
 
 // ServeTLS wraps ln with the given TLS config (see SelfSignedTLS) and
 // serves it like TCP.
 func (s *Server) ServeTLS(ctx context.Context, ln net.Listener, cfg *tls.Config) error {
-	return s.serveStream(ctx, tls.NewListener(ln, cfg), &s.stats.tlsConnsOpen, &s.stats.tlsConnsTotal, &s.stats.tlsQueries)
+	return s.serveStream(ctx, transport.NewStreamListener(tls.NewListener(ln, cfg)), &s.stats.tlsConnsOpen, &s.stats.tlsConnsTotal, &s.stats.tlsQueries)
 }
 
-func (s *Server) serveStream(ctx context.Context, ln net.Listener, open *atomic.Int64, total, queries *atomic.Uint64) error {
+// ServeStream serves an already-framed transport.Listener — the hook for
+// running the server over non-socket fabrics (vnet) or custom framing.
+func (s *Server) ServeStream(ctx context.Context, ln transport.Listener) error {
+	return s.serveStream(ctx, ln, &s.stats.tcpConnsOpen, &s.stats.tcpConnsTotal, &s.stats.tcpQueries)
+}
+
+func (s *Server) serveStream(ctx context.Context, ln transport.Listener, open *atomic.Int64, total, queries *atomic.Uint64) error {
 	stop := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stop()
 	for {
-		conn, err := ln.Accept()
+		ep, err := ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -110,30 +123,33 @@ func (s *Server) serveStream(ctx context.Context, ln net.Listener, open *atomic.
 		open.Add(1)
 		go func() {
 			defer open.Add(-1)
-			defer conn.Close()
-			s.streamConn(ctx, conn, queries)
+			defer ep.Close()
+			s.streamServe(ctx, ep, queries)
 		}()
 	}
 }
 
-func (s *Server) streamConn(ctx context.Context, conn net.Conn, queries *atomic.Uint64) {
+func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries *atomic.Uint64) {
+	bp := transport.GetBuf()
+	defer transport.PutBuf(bp)
+	buf := *bp
 	var req dnsmsg.Msg
 	for {
-		conn.SetReadDeadline(time.Now().Add(s.cfg.TCPIdleTimeout))
-		wire, err := dnsmsg.ReadTCPMsg(conn)
+		ep.SetDeadline(time.Now().Add(s.cfg.TCPIdleTimeout))
+		n, err := ep.Recv(buf)
 		if err != nil {
 			return // idle timeout, client close, or malformed framing
 		}
-		s.stats.bytesIn.Add(uint64(len(wire) + 2))
+		s.stats.bytesIn.Add(uint64(n + 2))
 		queries.Add(1)
-		if err := req.Unpack(wire); err != nil {
+		if err := req.Unpack(buf[:n]); err != nil {
 			return
 		}
-		src := addrOf(conn.RemoteAddr())
+		src := ep.RemoteAddr().Addr()
 		if len(req.Question) == 1 && req.Question[0].Type == dnsmsg.TypeAXFR &&
 			req.Opcode == dnsmsg.OpcodeQuery {
 			s.stats.queries.Add(1)
-			if err := s.handleAXFR(src, &req, conn); err != nil {
+			if err := s.handleAXFR(src, &req, ep); err != nil {
 				return
 			}
 			continue
@@ -143,7 +159,7 @@ func (s *Server) streamConn(ctx context.Context, conn net.Conn, queries *atomic.
 		if err != nil {
 			return
 		}
-		if err := dnsmsg.WriteTCPMsg(conn, out); err != nil {
+		if err := ep.Send(out); err != nil {
 			return
 		}
 		s.stats.bytesOut.Add(uint64(len(out) + 2))
@@ -151,22 +167,6 @@ func (s *Server) streamConn(ctx context.Context, conn net.Conn, queries *atomic.
 			return
 		}
 	}
-}
-
-// addrOf extracts the IP from a net.Addr of any flavor.
-func addrOf(a net.Addr) netip.Addr {
-	switch v := a.(type) {
-	case *net.UDPAddr:
-		ap := v.AddrPort()
-		return ap.Addr().Unmap()
-	case *net.TCPAddr:
-		ap := v.AddrPort()
-		return ap.Addr().Unmap()
-	}
-	if ap, err := netip.ParseAddrPort(a.String()); err == nil {
-		return ap.Addr().Unmap()
-	}
-	return netip.Addr{}
 }
 
 // SelfSignedTLS builds a TLS config with a fresh ECDSA P-256 certificate

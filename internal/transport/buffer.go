@@ -1,0 +1,35 @@
+package transport
+
+import "sync"
+
+// BufSize fits any DNS message (65535 bytes) plus the 2-byte stream
+// length prefix, rounded to a power of two.
+const BufSize = 64 * 1024
+
+// bufPool recycles read/write buffers across every transport hot path.
+// The seed implementation allocated a fresh 64 KiB slice per exchange
+// (resolver), per socket reader (replay, server) and per query (dig);
+// at replay rates that is gigabytes per second of garbage. Pool entries
+// are *[]byte so Put itself does not allocate.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, BufSize)
+		return &b
+	},
+}
+
+// GetBuf borrows a BufSize buffer from the pool. Pass the returned
+// pointer back to PutBuf when done; use (*bp) for the working slice.
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a buffer borrowed with GetBuf. Callers must not retain
+// any view of the buffer afterwards — message bytes handed to callbacks
+// are only valid until the callback returns.
+func PutBuf(bp *[]byte) {
+	if bp != nil && cap(*bp) >= BufSize {
+		*bp = (*bp)[:BufSize]
+		bufPool.Put(bp)
+	}
+}

@@ -1,0 +1,351 @@
+// Conformance suite: every Endpoint implementation — real UDP, TCP and
+// TLS sockets and the in-memory vnet fabric — must behave identically
+// under the same battery: one-shot exchange, truncation handling,
+// connection reuse through Conn, concurrent senders, and clean shutdown
+// with in-flight queries. Run with -race.
+package transport_test
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/server"
+	"ldplayer/internal/transport"
+	"ldplayer/internal/vnet"
+	"ldplayer/internal/zone"
+)
+
+// testZone serves one small rrset and one that truncates on UDP.
+func testZone(t testing.TB) *zone.Zone {
+	t.Helper()
+	z := zone.New("x.test.")
+	z.Add(dnsmsg.RR{Name: "x.test.", Type: dnsmsg.TypeSOA, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: dnsmsg.SOA{MName: "ns.x.test.", RName: "h.x.test.", Serial: 1, Refresh: 1, Retry: 1, Expire: 1, Minimum: 1}})
+	z.Add(dnsmsg.RR{Name: "x.test.", Type: dnsmsg.TypeNS, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: dnsmsg.NS{Host: "ns.x.test."}})
+	z.Add(dnsmsg.RR{Name: "small.x.test.", Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 60,
+		Data: dnsmsg.A{Addr: netip.MustParseAddr("192.0.2.1")}})
+	for i := 0; i < 60; i++ {
+		z.Add(dnsmsg.RR{Name: "big.x.test.", Type: dnsmsg.TypeA, Class: dnsmsg.ClassINET, TTL: 60,
+			Data: dnsmsg.A{Addr: netip.AddrFrom4([4]byte{198, 51, 100, byte(i)})}})
+	}
+	return z
+}
+
+func query(t testing.TB, name string, id uint16) *dnsmsg.Msg {
+	t.Helper()
+	var q dnsmsg.Msg
+	q.ID = id
+	q.SetQuestion(dnsmsg.MustParseName(name), dnsmsg.TypeA)
+	return &q
+}
+
+// fixture is one transport under test.
+type fixture struct {
+	name   string
+	proto  transport.Proto
+	dialer transport.Dialer
+	// target answers queries from testZone.
+	target netip.AddrPort
+	// blackhole accepts traffic (and, for TLS, handshakes) but never
+	// answers a DNS query.
+	blackhole netip.AddrPort
+	// stream transports frame messages and reuse connections.
+	stream bool
+}
+
+// fixtures starts one authoritative server and exposes it through every
+// transport; the returned cleanup stops everything.
+func fixtures(t *testing.T) []fixture {
+	t.Helper()
+	s := server.New(server.Config{UDPWorkers: 2})
+	if err := s.AddZone(testZone(t)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	// Real sockets: UDP, TCP and TLS listeners on loopback.
+	pc, udpAddr, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeUDP(ctx, pc)
+	lnTCP, tcpAddr, err := transport.ListenTCP(udpAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeTCP(ctx, lnTCP)
+	srvTLS, cliTLS, err := server.SelfSignedTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnTLS, tlsAddr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeTLS(ctx, lnTLS, srvTLS)
+
+	// Black holes: traffic goes in, nothing comes out.
+	bhUDP, bhUDPAddr, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bhUDP.Close() })
+	bhStream, bhStreamAddr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bhStream.Close() })
+	go acceptAndHold(bhStream, nil)
+	bhTLSln, bhTLSAddr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bhTLSln.Close() })
+	go acceptAndHold(bhTLSln, srvTLS)
+
+	// vnet: the same server code serving the fabric through a
+	// transport.VNetPacketConn, queried from a second virtual host.
+	n := vnet.New()
+	srvHost := transport.NewVNetHost(n, netip.MustParseAddr("10.7.0.1"))
+	t.Cleanup(srvHost.Close)
+	vpc, err := srvHost.ListenPacket(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeUDP(ctx, vpc)
+	cliHost := transport.NewVNetHost(n, netip.MustParseAddr("10.7.0.2"))
+	t.Cleanup(cliHost.Close)
+	// A vnet black hole: attached, silent.
+	n.Attach(netip.MustParseAddr("10.7.0.9"), func(vnet.Packet) {})
+
+	netDialer := &transport.NetDialer{TLSConfig: cliTLS}
+	return []fixture{
+		{name: "udp", proto: transport.UDP, dialer: netDialer, target: udpAddr, blackhole: bhUDPAddr},
+		{name: "tcp", proto: transport.TCP, dialer: netDialer, target: tcpAddr, blackhole: bhStreamAddr, stream: true},
+		{name: "tls", proto: transport.TLS, dialer: netDialer, target: tlsAddr, blackhole: bhTLSAddr, stream: true},
+		{name: "vnet", proto: transport.UDP, dialer: cliHost, target: netip.AddrPortFrom(srvHost.Addr(), 53),
+			blackhole: netip.MustParseAddrPort("10.7.0.9:53")},
+	}
+}
+
+// acceptAndHold accepts connections (completing the TLS handshake when
+// cfg is set, since clients block on it) and discards whatever arrives.
+func acceptAndHold(ln net.Listener, cfg *tls.Config) {
+	if cfg != nil {
+		ln = tls.NewListener(ln, cfg)
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			buf := make([]byte, 4096)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestConformance runs the shared battery over every transport.
+func TestConformance(t *testing.T) {
+	for _, f := range fixtures(t) {
+		t.Run(f.name, func(t *testing.T) {
+			t.Run("exchange", func(t *testing.T) { conformExchange(t, f) })
+			t.Run("truncation", func(t *testing.T) { conformTruncation(t, f) })
+			t.Run("concurrent", func(t *testing.T) { conformConcurrent(t, f) })
+			t.Run("reuse", func(t *testing.T) { conformReuse(t, f) })
+			t.Run("shutdown", func(t *testing.T) { conformShutdown(t, f) })
+		})
+	}
+}
+
+// conformExchange: a one-shot exchange returns the matching answer.
+func conformExchange(t *testing.T, f fixture) {
+	x := &transport.Exchanger{Dialer: f.dialer, Proto: f.proto, Timeout: 2 * time.Second, DisableTCPFallback: true}
+	resp, err := x.Exchange(context.Background(), f.target, query(t, "small.x.test.", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 || len(resp.Answer) != 1 {
+		t.Fatalf("id=%d answers=%d", resp.ID, len(resp.Answer))
+	}
+	// A dead/silent peer times out instead of hanging.
+	x2 := &transport.Exchanger{Dialer: f.dialer, Proto: f.proto, Timeout: 150 * time.Millisecond, DisableTCPFallback: true}
+	if _, err := x2.Exchange(context.Background(), f.blackhole, query(t, "small.x.test.", 8)); err == nil {
+		t.Fatal("exchange with black hole succeeded")
+	}
+}
+
+// conformTruncation: oversized answers truncate on datagram transports
+// and arrive whole on streams; real UDP then completes via TC fallback.
+func conformTruncation(t *testing.T, f fixture) {
+	x := &transport.Exchanger{Dialer: f.dialer, Proto: f.proto, Timeout: 2 * time.Second, DisableTCPFallback: true}
+	resp, err := x.Exchange(context.Background(), f.target, query(t, "big.x.test.", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.stream {
+		if resp.Truncated || len(resp.Answer) != 60 {
+			t.Fatalf("stream: tc=%v answers=%d", resp.Truncated, len(resp.Answer))
+		}
+		return
+	}
+	if !resp.Truncated {
+		t.Fatal("datagram transport did not truncate a 60-record answer")
+	}
+	if f.name == "udp" { // fallback needs a TCP path; the vnet fabric has none
+		x.DisableTCPFallback = false
+		resp, err = x.Exchange(context.Background(), f.target, query(t, "big.x.test.", 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Truncated || len(resp.Answer) != 60 {
+			t.Fatalf("fallback: tc=%v answers=%d", resp.Truncated, len(resp.Answer))
+		}
+	}
+}
+
+// conformConcurrent: many goroutines share one Conn; every query gets
+// exactly one response or drop, and all of them get responses here.
+func conformConcurrent(t *testing.T, f fixture) {
+	var got, dropped atomic.Int64
+	c := transport.NewConn(transport.ConnConfig{
+		Dial: func() (transport.Endpoint, error) {
+			return f.dialer.Dial(context.Background(), f.proto, f.target)
+		},
+		OnResponse: func(any, time.Duration, []byte) { got.Add(1) },
+		OnDrop:     func(any) { dropped.Add(1) },
+	})
+	defer c.Close()
+	wire, err := query(t, "small.x.test.", 1).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const senders, each = 4, 25
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				if _, err := c.Send(wire, j); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < senders*each && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got.Load() != senders*each || dropped.Load() != 0 {
+		t.Fatalf("responses=%d dropped=%d (want %d/0)", got.Load(), dropped.Load(), senders*each)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending=%d after all responses", c.Pending())
+	}
+}
+
+// conformReuse: on stream transports the connection persists across
+// queries and is re-dialed after the idle timeout closes it.
+func conformReuse(t *testing.T, f fixture) {
+	if !f.stream {
+		t.Skip("reuse semantics are a stream property")
+	}
+	var got atomic.Int64
+	c := transport.NewConn(transport.ConnConfig{
+		Dial: func() (transport.Endpoint, error) {
+			return f.dialer.Dial(context.Background(), f.proto, f.target)
+		},
+		IdleTimeout: 150 * time.Millisecond,
+		OnResponse:  func(any, time.Duration, []byte) { got.Add(1) },
+	})
+	defer c.Close()
+	wire, err := query(t, "small.x.test.", 1).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		fresh, err := c.Send(wire, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == 0) != fresh {
+			t.Fatalf("send %d: fresh=%v", i, fresh)
+		}
+	}
+	waitFor(t, func() bool { return got.Load() == 3 })
+	if d := c.Dials(); d != 1 {
+		t.Fatalf("dials=%d across 3 back-to-back queries", d)
+	}
+	// After the idle timeout the endpoint is gone; the next send redials.
+	// (Sleep well past the timeout — each send re-arms it.)
+	time.Sleep(400 * time.Millisecond)
+	fresh, err := c.Send(wire, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh || c.Dials() != 2 {
+		t.Fatalf("fresh=%v dials=%d after idle close", fresh, c.Dials())
+	}
+}
+
+// conformShutdown: Close fails in-flight queries out through OnDrop and
+// refuses further sends.
+func conformShutdown(t *testing.T, f fixture) {
+	var dropped atomic.Int64
+	c := transport.NewConn(transport.ConnConfig{
+		Dial: func() (transport.Endpoint, error) {
+			return f.dialer.Dial(context.Background(), f.proto, f.blackhole)
+		},
+		OnDrop: func(any) { dropped.Add(1) },
+	})
+	wire, err := query(t, "small.x.test.", 1).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inflight = 5
+	for i := 0; i < inflight; i++ {
+		if _, err := c.Send(wire, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := c.Pending(); p != inflight {
+		t.Fatalf("pending=%d before close", p)
+	}
+	c.Close()
+	waitFor(t, func() bool { return dropped.Load() == inflight })
+	if c.Pending() != 0 {
+		t.Fatalf("pending=%d after close", c.Pending())
+	}
+	if _, err := c.Send(wire, 99); err != transport.ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+)
+
+// Exchanger performs one-shot request/response exchanges: dial, send,
+// wait for the matching response under a per-attempt deadline, and — on
+// a truncated UDP answer — retry over TCP (RFC 1035's fallback). It is
+// the shared engine behind the resolver's upstream exchanges, ldp-dig,
+// and testbed configurations running over the vnet fabric.
+type Exchanger struct {
+	// Dialer opens endpoints; nil uses real sockets (NetDialer).
+	Dialer Dialer
+	// Proto is the initial transport (default UDP).
+	Proto Proto
+	// Timeout bounds each attempt (default 2 s).
+	Timeout time.Duration
+	// DisableTCPFallback keeps truncated UDP answers truncated.
+	DisableTCPFallback bool
+}
+
+var defaultDialer = &NetDialer{}
+
+// Exchange sends q to server and returns the response.
+func (x *Exchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnsmsg.Msg) (*dnsmsg.Msg, error) {
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := x.round(ctx, x.Proto, server, q.ID, wire)
+	if err != nil {
+		return nil, err
+	}
+	if x.Proto == UDP && resp.Truncated && !x.DisableTCPFallback {
+		return x.round(ctx, TCP, server, q.ID, wire)
+	}
+	return resp, nil
+}
+
+// round runs one attempt over one protocol.
+func (x *Exchanger) round(ctx context.Context, proto Proto, server netip.AddrPort, id uint16, wire []byte) (*dnsmsg.Msg, error) {
+	d := x.Dialer
+	if d == nil {
+		d = defaultDialer
+	}
+	ep, err := d.Dial(ctx, proto, server)
+	if err != nil {
+		return nil, err
+	}
+	defer ep.Close()
+
+	timeout := x.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	ep.SetDeadline(deadline)
+
+	if err := ep.Send(wire); err != nil {
+		return nil, fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
+	}
+	bp := GetBuf()
+	defer PutBuf(bp)
+	buf := *bp
+	for {
+		n, err := ep.Recv(buf)
+		if err != nil {
+			return nil, fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
+		}
+		var m dnsmsg.Msg
+		if err := m.Unpack(buf[:n]); err != nil {
+			if proto == UDP {
+				continue // not ours; keep waiting until the deadline
+			}
+			return nil, fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
+		}
+		if m.ID != id {
+			if proto == UDP {
+				continue
+			}
+			return nil, fmt.Errorf("transport: %s exchange with %s: response ID mismatch", proto, server)
+		}
+		return &m, nil
+	}
+}
