@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet experiments tools clean
+.PHONY: all build test race bench bench-check vet experiments tools clean
 
 all: build test
 
@@ -22,9 +22,19 @@ vet:
 	$(GO) vet ./...
 
 # Benchmarks (allocs/op on the transport exchange hot path included);
-# results are recorded in bench.out for comparison across changes.
+# results refresh the committed bench.out baseline that CI gates
+# against. The redirect (not a pipe) keeps go test's exit status: a
+# failing benchmark fails the target instead of being masked by tee.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' ./... | tee bench.out
+	$(GO) test -bench=. -benchmem -run='^$$' ./... > bench.tmp || { cat bench.tmp; rm -f bench.tmp; exit 1; }
+	mv bench.tmp bench.out
+	cat bench.out
+
+# Re-measure the gated transport benchmarks and compare against the
+# committed baseline; fails on >20% allocs/op regression.
+bench-check:
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/transport > bench.new || { cat bench.new; rm -f bench.new; exit 1; }
+	$(GO) run ./cmd/ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/transport\.'
 
 # Regenerate every table and figure (about six minutes at small scale).
 experiments:

@@ -1,0 +1,167 @@
+// Command ldp-benchdiff compares two `go test -bench -benchmem` output
+// files and fails when a benchmark regressed. It is the CI gate behind
+// the committed bench.out baseline:
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/transport > bench.new
+//	ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/transport\.BenchmarkExchange'
+//
+// allocs/op is the hard gate (deterministic on any runner): a benchmark
+// whose allocations grow more than -max-allocs-regress (default 20%)
+// fails the run. ns/op is compared but report-only, because wall-clock
+// on shared CI hardware is too noisy to gate on.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements from one file.
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// parseBench reads `go test -bench` output, keying each benchmark as
+// "<pkg>.<name>" with the GOMAXPROCS suffix stripped, so the same
+// benchmark matches across machines with different core counts.
+func parseBench(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]result{}
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := result{}
+		// After the iteration count come "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "allocs/op":
+				r.allocsPerOp = v
+				r.hasAllocs = true
+			}
+		}
+		out[pkg+"."+name] = r
+	}
+	return out, sc.Err()
+}
+
+func pct(base, now float64) float64 {
+	if base == 0 {
+		if now == 0 {
+			return 0
+		}
+		return 1 // 0 -> anything is treated as a 100% regression
+	}
+	return (now - base) / base
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldp-benchdiff: ")
+
+	baseline := flag.String("baseline", "bench.out", "committed baseline bench output")
+	newFile := flag.String("new", "bench.new", "freshly measured bench output")
+	match := flag.String("match", "", "regexp selecting which benchmark keys are gated (empty gates all)")
+	maxAllocs := flag.Float64("max-allocs-regress", 0.20, "fail when allocs/op grows more than this fraction")
+	flag.Parse()
+
+	var sel *regexp.Regexp
+	if *match != "" {
+		var err error
+		if sel, err = regexp.Compile(*match); err != nil {
+			log.Fatalf("bad -match: %v", err)
+		}
+	}
+	base, err := parseBench(*baseline)
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	now, err := parseBench(*newFile)
+	if err != nil {
+		log.Fatalf("new: %v", err)
+	}
+	if len(base) == 0 {
+		log.Fatalf("baseline %s has no benchmarks", *baseline)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failed := 0
+	compared := 0
+	for _, k := range keys {
+		if sel != nil && !sel.MatchString(k) {
+			continue
+		}
+		b := base[k]
+		n, ok := now[k]
+		if !ok {
+			log.Printf("WARN %s: in baseline but not in new run", k)
+			continue
+		}
+		compared++
+		status := "ok  "
+		allocsDelta := pct(b.allocsPerOp, n.allocsPerOp)
+		if n.hasAllocs && b.hasAllocs && allocsDelta > *maxAllocs {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-60s allocs/op %8.1f -> %8.1f (%+6.1f%%)   ns/op %10.0f -> %10.0f (%+6.1f%%, informational)\n",
+			status, k, b.allocsPerOp, n.allocsPerOp, 100*allocsDelta,
+			b.nsPerOp, n.nsPerOp, 100*pct(b.nsPerOp, n.nsPerOp))
+	}
+	for k := range now {
+		if _, ok := base[k]; !ok && (sel == nil || sel.MatchString(k)) {
+			log.Printf("note: %s is new (no baseline); run `make bench` to record it", k)
+		}
+	}
+
+	if compared == 0 {
+		log.Fatal("no benchmarks matched; nothing compared")
+	}
+	if failed > 0 {
+		log.Fatalf("%d benchmark(s) regressed more than %.0f%% allocs/op (refresh the baseline with `make bench` if intentional)",
+			failed, *maxAllocs*100)
+	}
+	fmt.Printf("%d benchmark(s) within budget\n", compared)
+}

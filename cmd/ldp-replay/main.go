@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ldplayer/internal/mutate"
+	"ldplayer/internal/obs"
 	"ldplayer/internal/pcap"
 	"ldplayer/internal/replay"
 	"ldplayer/internal/server"
@@ -48,7 +49,25 @@ func main() {
 	doFrac := flag.Float64("do", -1, "mutate the DNSSEC-OK fraction (0..1; -1 keeps original)")
 	prefix := flag.String("prefix", "", "prefix query names for replay matching")
 	tlsInsecure := flag.Bool("tls-insecure", false, "accept any server certificate for DNS-over-TLS")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug endpoint with /vars and /debug/pprof (empty disables)")
+	statsEvery := flag.Duration("stats", 0, "log live replay counters at this interval (0 disables)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		log.Printf("debug http on %s (/vars, /debug/pprof)", addr)
+	}
+	if *statsEvery > 0 {
+		go obs.Every(context.Background(), obs.Default, *statsEvery, func(s obs.Snapshot) {
+			log.Printf("sent=%d responses=%d timeouts=%d errs=%d trace_offset=%.1fs wall_offset=%.1fs",
+				s.Counters["replay.sent"], s.Counters["replay.responses"],
+				s.Counters["replay.timeouts"], s.Counters["replay.send_errors"],
+				s.Gauges["replay.trace_offset_seconds"], s.Gauges["replay.wall_offset_seconds"])
+		})
+	}
 
 	switch *role {
 	case "standalone":
@@ -113,6 +132,7 @@ func engineConfig(target string, distributors, queriers int, fast bool, connTime
 		Distributors:           distributors,
 		QueriersPerDistributor: queriers,
 		ConnIdleTimeout:        connTimeout,
+		Obs:                    obs.Default,
 	}
 	if fast {
 		cfg.Mode = replay.FastAsPossible

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"ldplayer/internal/obs"
 	"ldplayer/internal/server"
 	"ldplayer/internal/transport"
 	"ldplayer/internal/zone"
@@ -42,12 +43,20 @@ func main() {
 	tlsAddr := flag.String("tls", "", "TLS listen address with a self-signed certificate (empty disables)")
 	timeout := flag.Duration("tcp-timeout", 20*time.Second, "idle timeout for TCP/TLS connections")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug endpoint with /vars and /debug/pprof (empty disables)")
 	flag.Parse()
 
 	if len(zones) == 0 {
 		log.Fatal("at least one -zone is required")
 	}
-	srv := server.New(server.Config{TCPIdleTimeout: *timeout})
+	srv := server.New(server.Config{TCPIdleTimeout: *timeout, Obs: obs.Default})
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, obs.Default)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		log.Printf("debug http on %s (/vars, /debug/pprof)", addr)
+	}
 	for _, path := range zones {
 		f, err := os.Open(path)
 		if err != nil {

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry's current snapshot: JSON by default,
+// line-protocol text with ?format=text. Mount it wherever the process
+// already has an HTTP surface; ServeDebug stands one up from scratch.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap.WriteJSON(w)
+	})
+}
+
+// DebugMux builds the debug surface: /vars for the registry snapshot and
+// the net/http/pprof handlers under /debug/pprof/ (mounted explicitly so
+// nothing leaks onto http.DefaultServeMux).
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/vars", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug binds addr and serves DebugMux(r) in the background,
+// returning the server (Close to stop) and the bound address (useful
+// with ":0"). This is the implementation behind the cmds' -debug-addr
+// flag.
+func ServeDebug(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestVarsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ns.hits").Add(42)
+	r.Histogram("ns.lat_seconds", LatencyBuckets).Observe(0.003)
+
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q, want JSON", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["ns.hits"] != 42 {
+		t.Errorf("ns.hits = %d, want 42", snap.Counters["ns.hits"])
+	}
+	if snap.Histograms["ns.lat_seconds"].Count != 1 {
+		t.Errorf("histogram missing from /vars: %+v", snap.Histograms)
+	}
+
+	resp2, err := http.Get(srv.URL + "/vars?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), "ns.hits 42") {
+		t.Errorf("text format missing counter line:\n%s", body)
+	}
+
+	// pprof index must be mounted on the same mux.
+	resp3, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d, want 200", resp3.StatusCode)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.y").Inc()
+	srv, addr, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["x.y"] != 1 {
+		t.Errorf("x.y = %d, want 1", snap.Counters["x.y"])
+	}
+}

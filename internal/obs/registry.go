@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is a named set of instruments. Lookup (the hot path) is a
+// lock-free sync.Map read; creation takes a mutex once per name.
+// Instruments are get-or-create: asking twice for the same name returns
+// the same instrument, so independent components aggregate into shared
+// process-wide series, and a name registered as one kind must not be
+// re-requested as another (that panics — it is a programming error, as
+// in expvar).
+type Registry struct {
+	mu sync.Mutex // serializes creation only
+	m  sync.Map   // name -> *Counter | *Gauge | *Histogram
+}
+
+// NewRegistry creates an empty registry. Components that need private
+// accounting (a server instance whose Stats must not mix with another's)
+// own one of these; everything meant for the process-wide debug endpoint
+// registers in Default.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry served by the -debug-addr
+// endpoint of ldp-server and ldp-replay. Package-level instruments
+// (transport, resolver) live here; servers and replay engines join it
+// when their config points Obs at it.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*Counter](name, v)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*Counter](name, v)
+	}
+	c := &Counter{}
+	r.m.Store(name, c)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*Gauge](name, v)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*Gauge](name, v)
+	}
+	g := &Gauge{}
+	r.m.Store(name, g)
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds if needed (an existing histogram keeps
+// its original bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*Histogram](name, v)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*Histogram](name, v)
+	}
+	h := newHistogram(bounds)
+	r.m.Store(name, h)
+	return h
+}
+
+// Do calls fn for every registered instrument, in no particular order.
+func (r *Registry) Do(fn func(name string, instrument any)) {
+	r.m.Range(func(k, v any) bool {
+		fn(k.(string), v)
+		return true
+	})
+}
+
+func mustKind[T any](name string, v any) T {
+	t, ok := v.(T)
+	if !ok {
+		panic(fmt.Sprintf("obs: instrument %q already registered as %T", name, v))
+	}
+	return t
+}

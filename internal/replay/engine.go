@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"ldplayer/internal/obs"
 	"ldplayer/internal/trace"
 )
 
@@ -34,6 +35,17 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) Run(ctx context.Context, input trace.Reader) (*Report, error) {
 	cfg := e.cfg
 
+	// Live instruments: shared by every querier, readable mid-run from
+	// the registry. A run on a long-lived registry (obs.Default) starts
+	// from the counters' current values, so the Report subtracts the
+	// baseline to stay per-run.
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	st := newStats(reg)
+	base := statValues(st)
+
 	// Build the distribution tree: two-level by default; the ablation's
 	// direct mode routes the controller straight to queriers.
 	var queriers []*querier
@@ -41,14 +53,14 @@ func (e *Engine) Run(ctx context.Context, input trace.Reader) (*Report, error) {
 	if cfg.DirectDistribution {
 		n := cfg.Distributors * cfg.QueriersPerDistributor
 		for i := 0; i < n; i++ {
-			queriers = append(queriers, newQuerier(cfg))
+			queriers = append(queriers, newQuerier(cfg, st))
 		}
 	} else {
 		dists = make([]*distributor, cfg.Distributors)
 		for d := range dists {
 			qs := make([]*querier, cfg.QueriersPerDistributor)
 			for qi := range qs {
-				q := newQuerier(cfg)
+				q := newQuerier(cfg, st)
 				qs[qi] = q
 				queriers = append(queriers, q)
 			}
@@ -123,18 +135,22 @@ func (e *Engine) Run(ctx context.Context, input trace.Reader) (*Report, error) {
 		return nil, fmt.Errorf("replay: input: %w", readErr)
 	}
 
-	// Merge querier reports.
-	rep := &Report{}
+	// The totals are views over the live instruments (minus the run's
+	// starting baseline); per-query results and send-time edges merge
+	// from the queriers.
+	now := statValues(st)
+	rep := &Report{
+		Sent:        now.sent - base.sent,
+		Responses:   now.responses - base.responses,
+		SendErrs:    now.sendErrs - base.sendErrs,
+		Timeouts:    now.timeouts - base.timeouts,
+		ConnsOpened: now.connsOpened - base.connsOpened,
+		IDExhausted: now.idExhausted - base.idExhausted,
+		BytesSent:   now.bytesSent - base.bytesSent,
+	}
 	var firstSend, lastSend time.Time
 	for _, q := range queriers {
 		qr := q.report()
-		rep.Sent += qr.sent
-		rep.Responses += qr.responses
-		rep.SendErrs += qr.sendErrs
-		rep.Timeouts += qr.timeouts
-		rep.ConnsOpened += qr.connsOpened
-		rep.IDExhausted += qr.idExhausted
-		rep.BytesSent += qr.bytesSent
 		rep.Results = append(rep.Results, qr.results...)
 		if !qr.firstSend.IsZero() && (firstSend.IsZero() || qr.firstSend.Before(firstSend)) {
 			firstSend = qr.firstSend

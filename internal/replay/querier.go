@@ -2,6 +2,7 @@ package replay
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -16,6 +17,9 @@ import (
 type querier struct {
 	in  chan item
 	cfg Config
+	// st is the engine-wide live accounting every querier feeds; totals
+	// are observable mid-run through the engine's obs registry.
+	st *stats
 
 	// Time synchronization (set once by the controller's broadcast).
 	syncOnce   sync.Once
@@ -31,24 +35,19 @@ type querier struct {
 	queryReport
 }
 
-// queryReport is the querier's accumulated outcome.
+// queryReport is the querier's per-instance outcome: the fields that
+// cannot live in shared counters (per-query results, send-time edges).
 type queryReport struct {
-	sent        uint64
-	responses   uint64
-	sendErrs    uint64
-	timeouts    uint64
-	connsOpened uint64
-	idExhausted uint64
-	bytesSent   uint64
-	firstSend   time.Time
-	lastSend    time.Time
-	results     []QueryResult
+	firstSend time.Time
+	lastSend  time.Time
+	results   []QueryResult
 }
 
-func newQuerier(cfg Config) *querier {
+func newQuerier(cfg Config, st *stats) *querier {
 	return &querier{
 		in:    make(chan item, cfg.ChannelDepth),
 		cfg:   cfg,
+		st:    st,
 		conns: make(map[connKey]*transport.Conn),
 	}
 }
@@ -117,17 +116,28 @@ func (q *querier) send(it item) {
 	c := q.connFor(it.ev.Src.Addr(), it.ev.Proto)
 	fresh, err := c.Send(it.ev.Wire, idx)
 
+	if err != nil {
+		q.st.sendErrs.Inc()
+		if errors.Is(err, transport.ErrIDSpaceExhausted) {
+			q.st.idExhausted.Inc()
+		}
+	} else {
+		q.st.sent.Inc()
+		q.st.bytesSent.Add(uint64(len(it.ev.Wire)))
+		q.st.observeSend(it.offset, now.Sub(q.realStart))
+		if fresh && it.ev.Proto != trace.UDP {
+			q.st.connsOpened.Inc()
+		}
+	}
+
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if idx >= 0 && it.ev.Proto != trace.UDP {
 		q.results[idx].FreshConn = fresh
 	}
 	if err != nil {
-		q.sendErrs++
 		return
 	}
-	q.sent++
-	q.bytesSent += uint64(len(it.ev.Wire))
 	if q.firstSend.IsZero() {
 		q.firstSend = now
 	}
@@ -136,10 +146,14 @@ func (q *querier) send(it item) {
 
 // recordResponse is called from connection read loops.
 func (q *querier) recordResponse(resultIdx int, rtt time.Duration) {
+	q.st.responses.Inc()
+	q.st.rtt.ObserveDuration(rtt)
+	if q.cfg.DropResults {
+		return
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.responses++
-	if !q.cfg.DropResults && resultIdx >= 0 && resultIdx < len(q.results) {
+	if resultIdx >= 0 && resultIdx < len(q.results) {
 		q.results[resultIdx].RTT = rtt
 	}
 }
@@ -148,14 +162,12 @@ func (q *querier) recordResponse(resultIdx int, rtt time.Duration) {
 // its connection died or was closed at drain. Either way the query timed
 // out from the trace's point of view.
 func (q *querier) recordDrop() {
-	q.mu.Lock()
-	q.timeouts++
-	q.mu.Unlock()
+	q.st.timeouts.Inc()
 }
 
 // drain waits for outstanding responses, then closes the connections
-// (failing any stragglers out through recordDrop) and folds per-conn
-// counters into the report.
+// (failing any stragglers out through recordDrop). Connection counts
+// were accounted live at send time, so nothing is folded here.
 func (q *querier) drain() {
 	deadline := time.Now().Add(q.cfg.ResponseTimeout)
 	for time.Now().Before(deadline) {
@@ -164,18 +176,9 @@ func (q *querier) drain() {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	var dials, exhausted uint64
-	for key, c := range q.conns {
+	for _, c := range q.conns {
 		c.Close()
-		if key.proto != trace.UDP {
-			dials += c.Dials()
-		}
-		exhausted += c.IDExhausted()
 	}
-	q.mu.Lock()
-	q.connsOpened += dials
-	q.idExhausted += exhausted
-	q.mu.Unlock()
 }
 
 func (q *querier) outstanding() int {

@@ -15,7 +15,9 @@ import (
 	"net/netip"
 	"time"
 
+	"ldplayer/internal/obs"
 	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
 )
 
 // Mode selects replay pacing.
@@ -65,6 +67,17 @@ type Config struct {
 	// DirectDistribution bypasses the distributor stage (one-level
 	// controller→querier fan-out) for the coordination-overhead ablation.
 	DirectDistribution bool
+
+	// Obs is the registry the engine's live instruments ("replay."
+	// namespace) register in. Pass obs.Default to watch the run from a
+	// process-wide debug endpoint (ldp-replay does); nil keeps a private
+	// registry so concurrent engines account independently. The Report
+	// is always per-run either way.
+	Obs *obs.Registry
+	// Dialer overrides how queriers open endpoints — e.g. a
+	// transport.VNetHost replays onto the in-process vnet fabric. Nil
+	// dials real sockets.
+	Dialer transport.Dialer
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,80 @@
+package replay
+
+import (
+	"time"
+
+	"ldplayer/internal/obs"
+)
+
+// stats is the engine's live accounting: one set of obs instruments
+// ("replay." namespace) shared by every querier, updated at send and
+// response time so a debug endpoint watches the replay progress while it
+// runs. The end-of-run Report is a view over these instruments.
+type stats struct {
+	sent        *obs.Counter
+	responses   *obs.Counter
+	sendErrs    *obs.Counter
+	timeouts    *obs.Counter
+	connsOpened *obs.Counter
+	idExhausted *obs.Counter
+	bytesSent   *obs.Counter
+
+	// rtt is the query→response latency distribution, live — the series
+	// behind the paper's Fig 11/15 percentile plots.
+	rtt *obs.Histogram
+	// sendLag is how far behind the trace schedule each query went out
+	// (the paper's ΔTᵢ error, Fig 6); Timed mode keeps it near zero.
+	sendLag *obs.Histogram
+	// traceOffset/wallOffset are the replay clocks: the trace timestamp
+	// most recently scheduled and the wall time consumed reaching it.
+	// Their ratio is achieved vs. scheduled send rate; their difference
+	// is queue lag end-to-end.
+	traceOffset *obs.Gauge
+	wallOffset  *obs.Gauge
+}
+
+func newStats(reg *obs.Registry) *stats {
+	return &stats{
+		sent:        reg.Counter("replay.sent"),
+		responses:   reg.Counter("replay.responses"),
+		sendErrs:    reg.Counter("replay.send_errors"),
+		timeouts:    reg.Counter("replay.timeouts"),
+		connsOpened: reg.Counter("replay.conns_opened"),
+		idExhausted: reg.Counter("replay.id_exhausted"),
+		bytesSent:   reg.Counter("replay.bytes_sent"),
+		rtt:         reg.Histogram("replay.rtt_seconds", obs.LatencyBuckets),
+		sendLag:     reg.Histogram("replay.send_lag_seconds", obs.LatencyBuckets),
+		traceOffset: reg.Gauge("replay.trace_offset_seconds"),
+		wallOffset:  reg.Gauge("replay.wall_offset_seconds"),
+	}
+}
+
+// counterValues is one reading of every replay counter; Run diffs two of
+// these so a Report stays per-run even on a shared long-lived registry.
+type counterValues struct {
+	sent, responses, sendErrs, timeouts uint64
+	connsOpened, idExhausted, bytesSent uint64
+}
+
+func statValues(st *stats) counterValues {
+	return counterValues{
+		sent:        st.sent.Value(),
+		responses:   st.responses.Value(),
+		sendErrs:    st.sendErrs.Value(),
+		timeouts:    st.timeouts.Value(),
+		connsOpened: st.connsOpened.Value(),
+		idExhausted: st.idExhausted.Value(),
+		bytesSent:   st.bytesSent.Value(),
+	}
+}
+
+// observeSend records one dispatched query's schedule position.
+func (st *stats) observeSend(offset, wall time.Duration) {
+	st.traceOffset.Set(offset.Seconds())
+	st.wallOffset.Set(wall.Seconds())
+	if lag := wall - offset; lag > 0 {
+		st.sendLag.ObserveDuration(lag)
+	} else {
+		st.sendLag.Observe(0)
+	}
+}

@@ -47,9 +47,14 @@ func (q *querier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
 }
 
 // dialFunc builds the per-protocol dialer a source connection uses.
+// Config.Dialer substitutes the endpoint fabric (e.g. vnet) without the
+// querier knowing; real sockets are the default.
 func (q *querier) dialFunc(proto trace.Proto) func() (transport.Endpoint, error) {
 	cfg := q.cfg
-	dialer := &transport.NetDialer{TLSConfig: cfg.TLSConfig}
+	dialer := cfg.Dialer
+	if dialer == nil {
+		dialer = &transport.NetDialer{TLSConfig: cfg.TLSConfig}
+	}
 	switch proto {
 	case trace.UDP:
 		return func() (transport.Endpoint, error) {
@@ -57,7 +62,7 @@ func (q *querier) dialFunc(proto trace.Proto) func() (transport.Endpoint, error)
 		}
 	case trace.TLS:
 		return func() (transport.Endpoint, error) {
-			if cfg.TLSConfig == nil {
+			if cfg.Dialer == nil && cfg.TLSConfig == nil {
 				return nil, fmt.Errorf("replay: TLS query but no TLS config")
 			}
 			return dialer.Dial(context.Background(), transport.TLS, cfg.TLSServer)

@@ -1,0 +1,18 @@
+package resolver
+
+import "ldplayer/internal/obs"
+
+// Live instruments ("resolver." namespace) in the process-wide registry.
+// The resolver has no per-instance stats API, so package-level counters in
+// obs.Default are the whole story: a debug endpoint watches cache
+// effectiveness and upstream fan-out while a recursive experiment runs.
+var (
+	obsCacheHits   = obs.Default.Counter("resolver.cache.hits")
+	obsCacheMisses = obs.Default.Counter("resolver.cache.misses")
+
+	// obsUpstreamQueries counts every query sent toward an authoritative
+	// server; obsUpstreamRetries counts the subset that were re-asks after
+	// an earlier server in the list failed or answered SERVFAIL/REFUSED.
+	obsUpstreamQueries = obs.Default.Counter("resolver.upstream.queries")
+	obsUpstreamRetries = obs.Default.Counter("resolver.upstream.retries")
+)

@@ -108,10 +108,12 @@ func (r *Resolver) resolve(ctx context.Context, qname dnsmsg.Name, qtype dnsmsg.
 	}
 	key := cache.Key{Name: qname, Type: qtype}
 	if e, left := r.cache.Get(key); e != nil {
+		obsCacheHits.Inc()
 		adj := cache.EntryWithAdjustedTTL(e, left)
 		m := &dnsmsg.Msg{Rcode: adj.Rcode, Answer: adj.Answer, Authority: adj.Authority}
 		return r.chaseCNAME(ctx, m, qname, qtype, cnameDepth)
 	}
+	obsCacheMisses.Inc()
 
 	servers := append([]netip.AddrPort(nil), r.cfg.Roots...)
 	seenZones := map[string]bool{}
@@ -218,7 +220,11 @@ func (r *Resolver) followReferral(ctx context.Context, resp *dnsmsg.Msg) (dnsmsg
 // queryAny tries each server in turn until one responds.
 func (r *Resolver) queryAny(ctx context.Context, servers []netip.AddrPort, qname dnsmsg.Name, qtype dnsmsg.Type) (*dnsmsg.Msg, error) {
 	var lastErr error = ErrUpstreamFail
-	for _, srv := range servers {
+	for i, srv := range servers {
+		if i > 0 {
+			obsUpstreamRetries.Inc()
+		}
+		obsUpstreamQueries.Inc()
 		q := &dnsmsg.Msg{ID: nextID()}
 		q.SetQuestion(qname, qtype)
 		if r.cfg.EDNSSize > 0 {

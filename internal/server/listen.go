@@ -11,10 +11,10 @@ import (
 	"errors"
 	"math/big"
 	"net"
-	"sync/atomic"
 	"time"
 
 	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/obs"
 	"ldplayer/internal/transport"
 )
 
@@ -70,10 +70,12 @@ func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
 		var resp *dnsmsg.Msg
 		switch s.cfg.RRL.Check(src) {
 		case Drop:
+			s.stats.rrlDropped.Inc()
 			continue
 		case Slip:
 			// Truncated-empty response: legitimate clients retry over
 			// TCP; reflection targets get no amplification.
+			s.stats.rrlSlipped.Inc()
 			resp = new(dnsmsg.Msg).SetReply(&req)
 			resp.Truncated = true
 		default:
@@ -93,22 +95,22 @@ func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
 // length-prefixed queries and closing connections idle longer than the
 // configured timeout — the behaviour the TCP experiments sweep.
 func (s *Server) ServeTCP(ctx context.Context, ln net.Listener) error {
-	return s.serveStream(ctx, transport.NewStreamListener(ln), &s.stats.tcpConnsOpen, &s.stats.tcpConnsTotal, &s.stats.tcpQueries)
+	return s.serveStream(ctx, transport.NewStreamListener(ln), s.stats.tcpConnsOpen, s.stats.tcpConnsTotal, s.stats.tcpQueries)
 }
 
 // ServeTLS wraps ln with the given TLS config (see SelfSignedTLS) and
 // serves it like TCP.
 func (s *Server) ServeTLS(ctx context.Context, ln net.Listener, cfg *tls.Config) error {
-	return s.serveStream(ctx, transport.NewStreamListener(tls.NewListener(ln, cfg)), &s.stats.tlsConnsOpen, &s.stats.tlsConnsTotal, &s.stats.tlsQueries)
+	return s.serveStream(ctx, transport.NewStreamListener(tls.NewListener(ln, cfg)), s.stats.tlsConnsOpen, s.stats.tlsConnsTotal, s.stats.tlsQueries)
 }
 
 // ServeStream serves an already-framed transport.Listener — the hook for
 // running the server over non-socket fabrics (vnet) or custom framing.
 func (s *Server) ServeStream(ctx context.Context, ln transport.Listener) error {
-	return s.serveStream(ctx, ln, &s.stats.tcpConnsOpen, &s.stats.tcpConnsTotal, &s.stats.tcpQueries)
+	return s.serveStream(ctx, ln, s.stats.tcpConnsOpen, s.stats.tcpConnsTotal, s.stats.tcpQueries)
 }
 
-func (s *Server) serveStream(ctx context.Context, ln transport.Listener, open *atomic.Int64, total, queries *atomic.Uint64) error {
+func (s *Server) serveStream(ctx context.Context, ln transport.Listener, open *obs.Gauge, total, queries *obs.Counter) error {
 	stop := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stop()
 	for {
@@ -119,7 +121,7 @@ func (s *Server) serveStream(ctx context.Context, ln transport.Listener, open *a
 			}
 			return err
 		}
-		total.Add(1)
+		total.Inc()
 		open.Add(1)
 		go func() {
 			defer open.Add(-1)
@@ -129,7 +131,7 @@ func (s *Server) serveStream(ctx context.Context, ln transport.Listener, open *a
 	}
 }
 
-func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries *atomic.Uint64) {
+func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries *obs.Counter) {
 	bp := transport.GetBuf()
 	defer transport.PutBuf(bp)
 	buf := *bp
@@ -148,7 +150,8 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 		src := ep.RemoteAddr().Addr()
 		if len(req.Question) == 1 && req.Question[0].Type == dnsmsg.TypeAXFR &&
 			req.Opcode == dnsmsg.OpcodeQuery {
-			s.stats.queries.Add(1)
+			s.stats.queries.Inc()
+			s.stats.axfr.Inc()
 			if err := s.handleAXFR(src, &req, ep); err != nil {
 				return
 			}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/obs"
 	"ldplayer/internal/zone"
 )
 
@@ -69,6 +70,11 @@ type Config struct {
 	// RRL, when set, rate-limits UDP responses per client prefix
 	// (reflection-flood defense; see NewRRL).
 	RRL *RRL
+	// Obs is the registry the server's live instruments register in.
+	// Pass obs.Default to expose them on a process-wide debug endpoint
+	// (ldp-server does); nil keeps a private registry so multiple server
+	// instances in one process account independently.
+	Obs *obs.Registry
 }
 
 // Server answers authoritative DNS queries from its views.
@@ -89,8 +95,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxUDPSize == 0 {
 		cfg.MaxUDPSize = dnsmsg.MaxUDPSize
 	}
-	return &Server{cfg: cfg}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	s := &Server{cfg: cfg}
+	s.stats.init(cfg.Obs)
+	return s
 }
+
+// Obs returns the registry holding the server's live instruments.
+func (s *Server) Obs() *obs.Registry { return s.cfg.Obs }
 
 // AddView appends a view; views match in registration order.
 func (s *Server) AddView(v *View) { s.views = append(s.views, v) }
@@ -120,7 +134,13 @@ func (s *Server) viewFor(src netip.Addr) *View {
 // from a client at src. maxSize caps the response (UDP truncation); pass
 // 0 for stream transports. The returned message is never nil.
 func (s *Server) HandleQuery(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg {
-	s.stats.queries.Add(1)
+	resp := s.answer(src, req, maxSize)
+	s.stats.countRcode(resp.Rcode)
+	return resp
+}
+
+func (s *Server) answer(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg {
+	s.stats.queries.Inc()
 	resp := &dnsmsg.Msg{}
 	resp.SetReply(req)
 
@@ -133,6 +153,7 @@ func (s *Server) HandleQuery(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsm
 		resp.Rcode = dnsmsg.RcodeNotImpl
 		return resp
 	}
+	s.stats.countQtype(q.Type)
 
 	udpSize, do, hasEDNS := req.EDNS()
 

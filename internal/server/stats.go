@@ -1,52 +1,124 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
 
-// Stats holds the server's atomic counters. The experiment harness polls
-// Snapshot the way the paper polled top/dstat/netstat.
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/obs"
+)
+
+// Stats is the server's accounting, held as live obs instruments in the
+// server's registry ("server." namespace) so a debug endpoint observes
+// the counters while the server runs. The experiment harness still polls
+// Snapshot the way the paper polled top/dstat/netstat — Snapshot is now
+// a view over the registry, so both consumers read the same counters.
 type Stats struct {
-	queries   atomic.Uint64
-	responses atomic.Uint64
-	refused   atomic.Uint64
-	truncated atomic.Uint64
+	reg *obs.Registry
 
-	bytesIn  atomic.Uint64
-	bytesOut atomic.Uint64
+	queries   *obs.Counter
+	responses *obs.Counter
+	refused   *obs.Counter
+	truncated *obs.Counter
+	axfr      *obs.Counter
 
-	udpQueries atomic.Uint64
-	tcpQueries atomic.Uint64
-	tlsQueries atomic.Uint64
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
 
-	tcpConnsOpen  atomic.Int64 // currently established
-	tcpConnsTotal atomic.Uint64
-	tlsConnsOpen  atomic.Int64
-	tlsConnsTotal atomic.Uint64
+	udpQueries *obs.Counter
+	tcpQueries *obs.Counter
+	tlsQueries *obs.Counter
+
+	tcpConnsOpen  *obs.Gauge // currently established
+	tcpConnsTotal *obs.Counter
+	tlsConnsOpen  *obs.Gauge
+	tlsConnsTotal *obs.Counter
+
+	rrlDropped *obs.Counter
+	rrlSlipped *obs.Counter
+
+	// Per-rcode and per-qtype breakdowns (the paper's Table 1 query-mix
+	// view, live). Counters are created lazily on first sighting and
+	// cached so the per-query path is one atomic load + one add, with no
+	// string building.
+	rcodes [16]atomic.Pointer[obs.Counter]
+	qtypes sync.Map // dnsmsg.Type -> *obs.Counter
+}
+
+// init binds every instrument in reg; called once from New.
+func (s *Stats) init(reg *obs.Registry) {
+	s.reg = reg
+	s.queries = reg.Counter("server.queries")
+	s.responses = reg.Counter("server.responses")
+	s.refused = reg.Counter("server.refused")
+	s.truncated = reg.Counter("server.truncated")
+	s.axfr = reg.Counter("server.axfr")
+	s.bytesIn = reg.Counter("server.bytes_in")
+	s.bytesOut = reg.Counter("server.bytes_out")
+	s.udpQueries = reg.Counter("server.queries.udp")
+	s.tcpQueries = reg.Counter("server.queries.tcp")
+	s.tlsQueries = reg.Counter("server.queries.tls")
+	s.tcpConnsOpen = reg.Gauge("server.conns.tcp_open")
+	s.tcpConnsTotal = reg.Counter("server.conns.tcp_total")
+	s.tlsConnsOpen = reg.Gauge("server.conns.tls_open")
+	s.tlsConnsTotal = reg.Counter("server.conns.tls_total")
+	s.rrlDropped = reg.Counter("server.rrl.dropped")
+	s.rrlSlipped = reg.Counter("server.rrl.slipped")
+}
+
+// countRcode bumps the per-rcode counter, creating it on first use.
+func (s *Stats) countRcode(rc dnsmsg.Rcode) {
+	if int(rc) >= len(s.rcodes) {
+		return // extended rcodes never come out of HandleQuery
+	}
+	c := s.rcodes[rc].Load()
+	if c == nil {
+		c = s.reg.Counter("server.rcode." + rc.String())
+		s.rcodes[rc].Store(c)
+	}
+	c.Inc()
+}
+
+// countQtype bumps the per-qtype counter, creating it on first use.
+func (s *Stats) countQtype(t dnsmsg.Type) {
+	if v, ok := s.qtypes.Load(t); ok {
+		v.(*obs.Counter).Inc()
+		return
+	}
+	c := s.reg.Counter("server.qtype." + t.String())
+	s.qtypes.Store(t, c)
+	c.Inc()
 }
 
 // StatsSnapshot is a point-in-time copy of every counter.
 type StatsSnapshot struct {
 	Queries, Responses, Refused, Truncated uint64
+	AXFR                                   uint64
 	BytesIn, BytesOut                      uint64
 	UDPQueries, TCPQueries, TLSQueries     uint64
 	TCPConnsOpen, TLSConnsOpen             int64
 	TCPConnsTotal, TLSConnsTotal           uint64
+	RRLDropped, RRLSlipped                 uint64
 }
 
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Queries:       s.queries.Load(),
-		Responses:     s.responses.Load(),
-		Refused:       s.refused.Load(),
-		Truncated:     s.truncated.Load(),
-		BytesIn:       s.bytesIn.Load(),
-		BytesOut:      s.bytesOut.Load(),
-		UDPQueries:    s.udpQueries.Load(),
-		TCPQueries:    s.tcpQueries.Load(),
-		TLSQueries:    s.tlsQueries.Load(),
-		TCPConnsOpen:  s.tcpConnsOpen.Load(),
-		TLSConnsOpen:  s.tlsConnsOpen.Load(),
-		TCPConnsTotal: s.tcpConnsTotal.Load(),
-		TLSConnsTotal: s.tlsConnsTotal.Load(),
+		Queries:       s.queries.Value(),
+		Responses:     s.responses.Value(),
+		Refused:       s.refused.Value(),
+		Truncated:     s.truncated.Value(),
+		AXFR:          s.axfr.Value(),
+		BytesIn:       s.bytesIn.Value(),
+		BytesOut:      s.bytesOut.Value(),
+		UDPQueries:    s.udpQueries.Value(),
+		TCPQueries:    s.tcpQueries.Value(),
+		TLSQueries:    s.tlsQueries.Value(),
+		TCPConnsOpen:  int64(s.tcpConnsOpen.Value()),
+		TLSConnsOpen:  int64(s.tlsConnsOpen.Value()),
+		TCPConnsTotal: s.tcpConnsTotal.Value(),
+		TLSConnsTotal: s.tlsConnsTotal.Value(),
+		RRLDropped:    s.rrlDropped.Value(),
+		RRLSlipped:    s.rrlSlipped.Value(),
 	}
 }

@@ -13,6 +13,7 @@ const BufSize = 64 * 1024
 // are *[]byte so Put itself does not allocate.
 var bufPool = sync.Pool{
 	New: func() any {
+		obsBufAllocs.Inc()
 		b := make([]byte, BufSize)
 		return &b
 	},
@@ -21,6 +22,7 @@ var bufPool = sync.Pool{
 // GetBuf borrows a BufSize buffer from the pool. Pass the returned
 // pointer back to PutBuf when done; use (*bp) for the working slice.
 func GetBuf() *[]byte {
+	obsBufGets.Inc()
 	return bufPool.Get().(*[]byte)
 }
 

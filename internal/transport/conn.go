@@ -79,7 +79,10 @@ func (c *Conn) Send(wire []byte, token any) (fresh bool, err error) {
 			return true, err
 		}
 		c.ep = ep
-		c.dials.Add(1)
+		if c.dials.Add(1) > 1 {
+			obsConnRedials.Inc()
+		}
+		obsConnDials.Inc()
 		fresh = true
 		go c.readLoop(ep)
 	}
@@ -87,6 +90,7 @@ func (c *Conn) Send(wire []byte, token any) (fresh bool, err error) {
 	id, ok := c.allocIDLocked()
 	if !ok {
 		c.idExhausted.Add(1)
+		obsConnIDExhausted.Inc()
 		c.mu.Unlock()
 		return fresh, ErrIDSpaceExhausted
 	}
@@ -167,6 +171,7 @@ func (c *Conn) detachLocked() []any {
 }
 
 func (c *Conn) drop(tokens []any) {
+	obsConnDrops.Add(uint64(len(tokens)))
 	if c.cfg.OnDrop == nil {
 		return
 	}
@@ -206,8 +211,11 @@ func (c *Conn) readLoop(ep Endpoint) {
 			delete(c.pending, id)
 		}
 		c.mu.Unlock()
-		if ok && c.cfg.OnResponse != nil {
-			c.cfg.OnResponse(p.token, time.Since(p.sentAt), buf[:n])
+		if ok {
+			obsConnResponses.Inc()
+			if c.cfg.OnResponse != nil {
+				c.cfg.OnResponse(p.token, time.Since(p.sentAt), buf[:n])
+			}
 		}
 	}
 }

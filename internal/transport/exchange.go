@@ -29,17 +29,28 @@ var defaultDialer = &NetDialer{}
 
 // Exchange sends q to server and returns the response.
 func (x *Exchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnsmsg.Msg) (*dnsmsg.Msg, error) {
+	obsExchangesAll.Inc()
+	obsExchanges[x.Proto].Inc()
+	start := time.Now()
 	wire, err := q.Pack()
 	if err != nil {
+		obsExchangeErrs.Inc()
 		return nil, err
 	}
 	resp, err := x.round(ctx, x.Proto, server, q.ID, wire)
 	if err != nil {
+		obsExchangeErrs.Inc()
 		return nil, err
 	}
 	if x.Proto == UDP && resp.Truncated && !x.DisableTCPFallback {
-		return x.round(ctx, TCP, server, q.ID, wire)
+		obsTCFallbacks.Inc()
+		resp, err = x.round(ctx, TCP, server, q.ID, wire)
+		if err != nil {
+			obsExchangeErrs.Inc()
+			return nil, err
+		}
 	}
+	obsExchangeRTT.ObserveDuration(time.Since(start))
 	return resp, nil
 }
 

@@ -1,0 +1,41 @@
+package transport
+
+import "ldplayer/internal/obs"
+
+// Live instruments for the shared transport stack, in the process-wide
+// obs.Default registry ("transport." namespace). The transport layer is
+// below every component that owns a config, so its instruments are
+// package-level: one process has one transport stack, and the counters
+// aggregate every exchange, connection and buffer the process performs.
+// Per-Conn accounting (Dials, IDExhausted methods) is unchanged; these
+// series are the live process-wide view.
+var (
+	// obsExchanges counts Exchanger.Exchange calls by initial protocol;
+	// obsExchangesAll is their sum, kept separately so the hot path does
+	// two plain atomic adds instead of a map walk at scrape time.
+	obsExchangesAll = obs.Default.Counter("transport.exchanges")
+	obsExchanges    = [3]*obs.Counter{
+		UDP: obs.Default.Counter("transport.exchanges.udp"),
+		TCP: obs.Default.Counter("transport.exchanges.tcp"),
+		TLS: obs.Default.Counter("transport.exchanges.tls"),
+	}
+	obsExchangeErrs = obs.Default.Counter("transport.exchange_errors")
+	obsTCFallbacks  = obs.Default.Counter("transport.tc_fallbacks")
+	obsExchangeRTT  = obs.Default.Histogram("transport.exchange_rtt_seconds", obs.LatencyBuckets)
+
+	// Conn lifecycle: dials counts every endpoint opened; redials the
+	// subset that replaced an earlier endpoint on the same Conn (idle
+	// close or error failover); drops the in-flight queries failed out
+	// when an endpoint died.
+	obsConnDials       = obs.Default.Counter("transport.conn.dials")
+	obsConnRedials     = obs.Default.Counter("transport.conn.redials")
+	obsConnIDExhausted = obs.Default.Counter("transport.conn.id_exhausted")
+	obsConnDrops       = obs.Default.Counter("transport.conn.drops")
+	obsConnResponses   = obs.Default.Counter("transport.conn.responses")
+
+	// Buffer pool economics: gets is every borrow, allocs the subset
+	// that had to allocate a fresh 64 KiB buffer. Hit rate is
+	// 1 - allocs/gets.
+	obsBufGets   = obs.Default.Counter("transport.bufpool.gets")
+	obsBufAllocs = obs.Default.Counter("transport.bufpool.allocs")
+)
