@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-check vet experiments tools clean
+.PHONY: all build test race bench bench-check vet lint check fuzz-smoke experiments tools clean
+
+# Per-target budget for the fuzz smoke pass (see fuzz-smoke).
+FUZZTIME ?= 30s
 
 all: build test
 
@@ -20,6 +23,25 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: go vet plus ldp-vet, which enforces
+# LDplayer's architectural invariants (transport-only I/O, simulated
+# clock discipline, metric naming, stats atomicity, error checking,
+# mutex/blocking hygiene). See DESIGN.md "Static analysis & fuzzing".
+lint: vet
+	$(GO) run ./cmd/ldp-vet -dir .
+
+# Everything CI runs, in one target.
+check: build vet lint test race
+
+# Short fuzz pass over the three wire-format decoders; CI runs this on
+# every push. Crash inputs land in <pkg>/testdata/fuzz/ — commit them so
+# they become permanent regression seeds.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzMsgRoundTrip -fuzztime=$(FUZZTIME) ./internal/dnsmsg
+	$(GO) test -fuzz=FuzzNameUnpack -fuzztime=$(FUZZTIME) ./internal/dnsmsg
+	$(GO) test -fuzz=FuzzZoneParse -fuzztime=$(FUZZTIME) ./internal/zone
+	$(GO) test -fuzz=FuzzPCAPRead -fuzztime=$(FUZZTIME) ./internal/pcap
 
 # Benchmarks (allocs/op on the transport exchange hot path included);
 # results refresh the committed bench.out baseline that CI gates

@@ -55,12 +55,15 @@ func main() {
 	}
 
 	if *axfr {
+		//ldp:nolint transportonly — AXFR needs the raw TCP byte stream that FetchAXFR consumes, not a framed transport.Endpoint
 		conn, err := net.DialTimeout("tcp", *server, *timeout)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer conn.Close()
-		conn.SetDeadline(time.Now().Add(*timeout))
+		if err := conn.SetDeadline(time.Now().Add(*timeout)); err != nil {
+			log.Fatal(err)
+		}
 		z, err := server2.FetchAXFR(conn, name)
 		if err != nil {
 			log.Fatal(err)
@@ -107,7 +110,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ep.Close()
-	ep.SetDeadline(time.Now().Add(*timeout))
+	if err := ep.SetDeadline(time.Now().Add(*timeout)); err != nil {
+		log.Fatal(err)
+	}
 	if err := ep.Send(wire); err != nil {
 		log.Fatal(err)
 	}

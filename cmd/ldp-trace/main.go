@@ -121,7 +121,7 @@ func cmdConvert(args []string) {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	in := fs.String("in", "", "input trace")
 	out := fs.String("out", "", "output trace")
-	fs.Parse(args)
+	fs.Parse(args) //ldp:nolint errcheck — flag.ExitOnError exits on error, Parse never returns one
 	if *in == "" || *out == "" {
 		log.Fatal("convert needs -in and -out")
 	}
@@ -140,7 +140,7 @@ func cmdMutate(args []string) {
 	prefix := fs.String("prefix", "", "query-name prefix for replay matching")
 	queriesOnly := fs.Bool("queries-only", false, "drop responses")
 	scale := fs.Float64("scale-time", 0, "timeline scale factor (0.5 = 2x faster)")
-	fs.Parse(args)
+	fs.Parse(args) //ldp:nolint errcheck — flag.ExitOnError exits on error, Parse never returns one
 	if *in == "" || *out == "" {
 		log.Fatal("mutate needs -in and -out")
 	}
@@ -182,7 +182,7 @@ func cmdGen(args []string) {
 	clients := fs.Int("clients", 2000, "client population")
 	inter := fs.Duration("interval", 10*time.Millisecond, "inter-arrival (synthetic)")
 	seed := fs.Int64("seed", 1, "generator seed")
-	fs.Parse(args)
+	fs.Parse(args) //ldp:nolint errcheck — flag.ExitOnError exits on error, Parse never returns one
 	if *out == "" {
 		log.Fatal("gen needs -out")
 	}
@@ -214,7 +214,7 @@ func cmdGen(args []string) {
 func cmdStat(args []string) {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
 	in := fs.String("in", "", "input trace")
-	fs.Parse(args)
+	fs.Parse(args) //ldp:nolint errcheck — flag.ExitOnError exits on error, Parse never returns one
 	if *in == "" {
 		log.Fatal("stat needs -in")
 	}

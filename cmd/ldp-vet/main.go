@@ -1,0 +1,95 @@
+// Command ldp-vet runs LDplayer's project-specific static-analysis
+// suite (internal/lint) over the module: architectural invariants the
+// compiler and go vet cannot express — transport-only I/O, deterministic
+// simulation hygiene, obs metric-name discipline, no silently dropped
+// errors, and no mutexes held across blocking I/O.
+//
+// Usage:
+//
+//	ldp-vet [-dir .] [-checks name,name] [-list]
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic fires,
+// 2 on usage or load errors. Suppress an individual finding with
+//
+//	//ldp:nolint <check> — <justification>
+//
+// on (or directly above) the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ldplayer/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module directory to analyze")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: ldp-vet [-dir .] [-checks name,name] [-list]")
+		os.Exit(2)
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil && *list {
+		// -list should work even outside a module; fall back to the
+		// project module path for documentation purposes.
+		loader = nil
+	} else if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	modPath := "ldplayer"
+	if loader != nil {
+		modPath = loader.ModulePath
+	}
+	checkers := lint.DefaultCheckers(modPath)
+
+	if *list {
+		for _, c := range checkers {
+			fmt.Printf("%-15s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	if *checks != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var selected []lint.Checker
+		for _, c := range checkers {
+			if want[c.Name()] {
+				selected = append(selected, c)
+				delete(want, c.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "ldp-vet: unknown check %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		checkers = selected
+	}
+
+	pkgs, err := loader.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, checkers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ldp-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -98,7 +98,9 @@ func main() {
 		if _, err := z.WriteTo(zf); err != nil {
 			log.Fatal(err)
 		}
-		zf.Close()
+		if err := zf.Close(); err != nil {
+			log.Fatal(err)
+		}
 		addr := "-"
 		if a, ok := res.NSAddr[origin]; ok {
 			addr = a.String()

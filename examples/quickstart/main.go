@@ -10,12 +10,12 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/netip"
 	"time"
 
 	"ldplayer"
 
+	"ldplayer/internal/transport"
 	"ldplayer/internal/workload"
 	"ldplayer/internal/zonegen"
 )
@@ -29,14 +29,13 @@ func main() {
 	if err := srv.AddZone(zonegen.WildcardZone("example.com.")); err != nil {
 		log.Fatal(err)
 	}
-	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	pc, target, err := transport.ListenUDP("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go srv.ServeUDP(ctx, pc)
-	target := pc.LocalAddr().(*net.UDPAddr).AddrPort()
 	fmt.Printf("server on %s\n", target)
 
 	// 2. A synthetic trace: 100 queries at a fixed 10 ms inter-arrival,

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/netip"
 	"sync/atomic"
 	"time"
@@ -21,6 +20,7 @@ import (
 	"ldplayer"
 
 	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/workload"
 	"ldplayer/internal/zonegen"
 )
@@ -46,14 +46,13 @@ func main() {
 
 	// 2. The recursive server listens on loopback UDP, resolving through
 	//    the emulation.
-	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	pc, target, err := transport.ListenUDP("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go em.Resolver.ServeUDP(ctx, pc, 128)
-	target := pc.LocalAddr().(*net.UDPAddr).AddrPort()
 	fmt.Printf("recursive server on %s\n", target)
 
 	// 3. A Rec-17-model workload: few clients, bursty arrivals, names

@@ -10,13 +10,13 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/netip"
 	"time"
 
 	"ldplayer"
 
 	"ldplayer/internal/dnssec"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/workload"
 	"ldplayer/internal/zonegen"
 )
@@ -43,15 +43,14 @@ func main() {
 	if err := srv.AddZone(root); err != nil {
 		log.Fatal(err)
 	}
-	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	pc, bound, err := transport.ListenUDP("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go srv.ServeUDP(ctx, pc)
-	target := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"),
-		pc.LocalAddr().(*net.UDPAddr).AddrPort().Port())
+	target := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), bound.Port())
 
 	// 3. A 10-second B-Root-model trace (rate variation, client skew,
 	//    realistic DO mix), replayed twice: as-is (72.3% DO) and mutated

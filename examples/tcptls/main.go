@@ -11,13 +11,13 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/netip"
 	"time"
 
 	"ldplayer"
 
 	"ldplayer/internal/server"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/workload"
 	"ldplayer/internal/zonegen"
 )
@@ -31,11 +31,11 @@ func main() {
 	if err := srv.AddZone(zonegen.RootZone(nil)); err != nil {
 		log.Fatal(err)
 	}
-	pcUDP, err := net.ListenPacket("udp", "127.0.0.1:0")
+	pcUDP, target, err := transport.ListenUDP("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	lnTCP, err := net.Listen("tcp", pcUDP.LocalAddr().String())
+	lnTCP, _, err := transport.ListenTCP(target.String())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lnTLS, err := net.Listen("tcp", "127.0.0.1:0")
+	lnTLS, tlsAP, err := transport.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,9 +52,7 @@ func main() {
 	go srv.ServeUDP(ctx, pcUDP)
 	go srv.ServeTCP(ctx, lnTCP)
 	go srv.ServeTLS(ctx, lnTLS, tlsSrvCfg)
-	target := pcUDP.LocalAddr().(*net.UDPAddr).AddrPort()
 	targetAP := netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), target.Port())
-	tlsAP := lnTLS.Addr().(*net.TCPAddr).AddrPort()
 
 	// A 6-second trace from 30 sources.
 	tr := workload.BRootModel(workload.BRootConfig{

@@ -53,7 +53,7 @@ func New(max int) *Cache {
 		entries: make(map[Key]*Entry, max/4),
 		lru:     list.New(),
 		max:     max,
-		now:     time.Now,
+		now:     time.Now, //ldp:nolint simclock — the one wall-clock default; SetClock injects simulated time
 	}
 }
 

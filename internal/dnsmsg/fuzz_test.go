@@ -1,0 +1,143 @@
+package dnsmsg
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// fuzzSeedMsgs builds representative wire messages for the round-trip
+// fuzzer: a plain query, an EDNS query, and a response with answers that
+// pack with name compression.
+func fuzzSeedMsgs(t testing.TB) [][]byte {
+	t.Helper()
+	var seeds [][]byte
+
+	var q Msg
+	q.ID = 0x1234
+	q.SetQuestion("www.example.com.", TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, wire)
+
+	var qe Msg
+	qe.ID = 0x5678
+	qe.SetQuestion("example.com.", TypeTXT)
+	qe.SetEDNS(4096, true)
+	wire, err = qe.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, wire)
+
+	var r Msg
+	r.SetQuestion("www.example.com.", TypeA)
+	r.SetReply(&q)
+	r.Answer = append(r.Answer,
+		RR{Name: "www.example.com.", Type: TypeA, Class: ClassINET, TTL: 300,
+			Data: A{Addr: netip.MustParseAddr("192.0.2.1")}},
+		RR{Name: "www.example.com.", Type: TypeA, Class: ClassINET, TTL: 300,
+			Data: A{Addr: netip.MustParseAddr("192.0.2.2")}})
+	r.Authority = append(r.Authority,
+		RR{Name: "example.com.", Type: TypeNS, Class: ClassINET, TTL: 86400,
+			Data: NS{Host: "ns1.example.com."}})
+	wire, err = r.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, wire)
+	return seeds
+}
+
+// FuzzMsgRoundTrip checks the decode→encode fixpoint: any message that
+// Unpack accepts must Pack, and the packed form must decode back to a
+// message that packs to identical bytes. (The first re-encoding may
+// differ from the raw input — compression and name case normalize — but
+// one round trip must reach a fixpoint.)
+func FuzzMsgRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeedMsgs(f) {
+		f.Add(seed)
+		if len(seed) > 3 {
+			f.Add(seed[:len(seed)-3]) // truncated tail
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Msg
+		if err := m.Unpack(data); err != nil {
+			return
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatalf("accepted message does not re-encode: %v\ninput: %x", err, data)
+		}
+		var m2 Msg
+		if err := m2.Unpack(wire); err != nil {
+			t.Fatalf("re-encoded message does not decode: %v\nwire: %x", err, wire)
+		}
+		wire2, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("encode is not a fixpoint:\nfirst:  %x\nsecond: %x", wire, wire2)
+		}
+	})
+}
+
+// TestUnpackNameRawBytes pins the fix for a fuzzer-found round-trip
+// break (corpus seed 340282658f294ed1): strings.ToLower rewrote
+// non-UTF-8 label bytes to U+FFFD, and a '.' inside a wire label
+// produced an ambiguous presentation form. High bytes must now survive
+// unchanged and dotted labels must be rejected outright.
+func TestUnpackNameRawBytes(t *testing.T) {
+	name, _, err := unpackName([]byte("\x030\x8a0\x00"), 0)
+	if err != nil {
+		t.Fatalf("high-byte label rejected: %v", err)
+	}
+	if want := Name("0\x8a0."); name != want {
+		t.Fatalf("high byte not preserved: got %q want %q", name, want)
+	}
+	wire, err := AppendNameWire(nil, name)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(wire, []byte("\x030\x8a0\x00")) {
+		t.Fatalf("high-byte label did not round-trip: %x", wire)
+	}
+
+	if _, _, err := unpackName([]byte("\x03a.b\x00"), 0); err == nil {
+		t.Fatal("label containing '.' was accepted; its text form is ambiguous")
+	}
+}
+
+// FuzzNameUnpack drives the compression-pointer decoder directly: no
+// input may panic or loop, and any accepted name must re-encode.
+func FuzzNameUnpack(f *testing.F) {
+	// A straight name at offset 0.
+	f.Add([]byte("\x03www\x07example\x03com\x00"), uint16(0))
+	// A name whose tail is a pointer back to offset 0.
+	f.Add([]byte("\x07example\x03com\x00\x03www\xc0\x00"), uint16(13))
+	// A pointer chain: 17 -> 13 -> 0.
+	f.Add([]byte("\x07example\x03com\x00\x03www\xc0\x00\xc0\x0d"), uint16(17))
+	// Invalid: forward pointer (would loop).
+	f.Add([]byte("\xc0\x00"), uint16(0))
+	// Invalid: obsolete 0x40 label type.
+	f.Add([]byte("\x40abc\x00"), uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, off uint16) {
+		name, end, err := unpackName(data, int(off))
+		if err != nil {
+			return
+		}
+		if end < 0 || end > len(data) {
+			t.Fatalf("end offset %d outside message of %d bytes", end, len(data))
+		}
+		if n := name.WireLen(); n > MaxNameLen+1 {
+			t.Fatalf("accepted name %q has wire length %d > %d", name, n, MaxNameLen+1)
+		}
+		if _, err := AppendNameWire(nil, name); err != nil {
+			t.Fatalf("accepted name %q does not re-encode: %v", name, err)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package dnsmsg
 
 import (
+	"bytes"
 	"errors"
 	"strings"
 )
@@ -34,7 +35,7 @@ func ParseName(s string) (Name, error) {
 	if !strings.HasSuffix(s, ".") {
 		s += "."
 	}
-	s = strings.ToLower(s)
+	s = asciiLower(s)
 	// Validate label lengths and total length.
 	total := 1 // trailing root byte
 	start := 0
@@ -56,6 +57,29 @@ func ParseName(s string) (Name, error) {
 		return "", ErrNameTooLong
 	}
 	return Name(s), nil
+}
+
+// asciiLower lowercases A-Z only, leaving every other byte intact. DNS
+// case-insensitivity covers ASCII letters alone (RFC 4343), and labels
+// may carry arbitrary non-UTF-8 bytes that Unicode case mapping would
+// silently rewrite to U+FFFD.
+func asciiLower(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := []byte(s)
+	for ; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 // MustParseName is ParseName for constant inputs; it panics on error.
@@ -198,7 +222,7 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			if sb.Len() == 0 {
 				return Root, end, nil
 			}
-			name := strings.ToLower(sb.String())
+			name := asciiLower(sb.String())
 			if len(name)+1 > MaxNameLen {
 				return "", 0, ErrNameTooLong
 			}
@@ -225,7 +249,13 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			if off+1+c > len(msg) {
 				return "", 0, ErrBadName
 			}
-			sb.Write(msg[off+1 : off+1+c])
+			label := msg[off+1 : off+1+c]
+			if bytes.IndexByte(label, '.') >= 0 {
+				// A dot inside a label cannot round-trip the canonical
+				// presentation form this codec keys everything on.
+				return "", 0, ErrBadName
+			}
+			sb.Write(label)
 			sb.WriteByte('.')
 			off += 1 + c
 		}

@@ -220,7 +220,7 @@ func (d DNSKEY) String() string {
 
 // KeyTag computes the RFC 4034 Appendix B key tag over the DNSKEY rdata.
 func (d DNSKEY) KeyTag() uint16 {
-	rdata, _ := d.appendRData(nil, nil, false)
+	rdata, _ := d.appendRData(nil, nil, false) //ldp:nolint errcheck — DNSKEY rdata is length-prefixed byte fields; encoding cannot fail
 	var ac uint32
 	for i, b := range rdata {
 		if i&1 == 1 {

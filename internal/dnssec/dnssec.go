@@ -107,9 +107,9 @@ func (k *Key) KeyTag() uint16 { return k.tag }
 // given owner (RFC 4509).
 func (k *Key) DS(owner dnsmsg.Name) dnsmsg.DS {
 	h := sha256.New()
-	nameWire, _ := dnsmsg.AppendNameWire(nil, owner)
+	nameWire, _ := dnsmsg.AppendNameWire(nil, owner) //ldp:nolint errcheck — owner was validated at zone load; encoding it cannot fail
 	h.Write(nameWire)
-	rdata, _ := dnsmsg.AppendRData(nil, k.public)
+	rdata, _ := dnsmsg.AppendRData(nil, k.public) //ldp:nolint errcheck — DNSKEY rdata built by this package always encodes
 	h.Write(rdata)
 	return dnsmsg.DS{
 		KeyTag:     k.tag,

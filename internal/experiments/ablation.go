@@ -102,9 +102,12 @@ func ablateDistributionLevels(r *Result, sc Scale) error {
 	defer ls.stop()
 	var m dnsmsg.Msg
 	m.SetQuestion("www.example.com.", dnsmsg.TypeA)
-	wire, _ := m.Pack()
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
 	var events []*trace.Event
-	base := time.Now()
+	base := traceBase
 	for i := 0; i < 20000; i++ {
 		events = append(events, &trace.Event{
 			Time: base,
@@ -124,7 +127,7 @@ func ablateDistributionLevels(r *Result, sc Scale) error {
 		if err != nil {
 			return 0, err
 		}
-		start := time.Now()
+		start := time.Now() //ldp:nolint simclock — wall-clock measurement of a live-socket run
 		rep, err := eng.Run(context.Background(), &sliceReader{events: events})
 		if err != nil {
 			return 0, err
@@ -204,15 +207,19 @@ func ablateInputFormats(r *Result, sc Scale) error {
 	if err := trace.WriteAll(bw, tr); err != nil {
 		return err
 	}
-	bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
 	tw := trace.NewTextWriter(&txtBuf)
 	if err := trace.WriteAll(tw, tr); err != nil {
 		return err
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 
 	timeRead := func(r trace.Reader) (time.Duration, int, error) {
-		start := time.Now()
+		start := time.Now() //ldp:nolint simclock — wall-clock measurement of parse throughput
 		n := 0
 		for {
 			_, err := r.Read()
@@ -253,10 +260,13 @@ func ablateAffinity(r *Result, sc Scale) error {
 
 	// 200 TCP queries from 10 sources.
 	var events []*trace.Event
-	base := time.Now()
+	base := traceBase
 	var m dnsmsg.Msg
 	m.SetQuestion("www.example.com.", dnsmsg.TypeA)
-	wire, _ := m.Pack()
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
 	for i := 0; i < 200; i++ {
 		events = append(events, &trace.Event{
 			Time:  base.Add(time.Duration(i) * time.Millisecond),

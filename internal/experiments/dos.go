@@ -49,11 +49,14 @@ func DoSOverload(sc Scale) (*Result, error) {
 	// degenerates into a race between replayer and server throughput.
 	var m dnsmsg.Msg
 	m.SetQuestion("www.example.com.", dnsmsg.TypeA)
-	wire, _ := m.Pack()
+	wire, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
 	floodN := int(sc.LiveRate*sc.LiveDuration.Seconds()) * 10
 	flood := make([]*trace.Event, floodN)
 	interval := sc.LiveDuration / time.Duration(floodN)
-	now := time.Now()
+	now := traceBase
 	for i := range flood {
 		flood[i] = &trace.Event{
 			Time: now.Add(time.Duration(i) * interval),
@@ -74,7 +77,11 @@ func DoSOverload(sc Scale) (*Result, error) {
 			attackDone <- nil
 			return
 		}
-		rep, _ := eng.Run(context.Background(), &sliceReader{events: flood})
+		rep, err := eng.Run(context.Background(), &sliceReader{events: flood})
+		if err != nil {
+			attackDone <- nil
+			return
+		}
 		attackDone <- rep
 	}()
 

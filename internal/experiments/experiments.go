@@ -30,6 +30,12 @@ type Scale struct {
 	Trials int
 }
 
+// traceBase is the epoch for synthetic trace timestamps. The replay
+// engine schedules events relative to the first event's time, so any
+// fixed base works; a constant keeps the generated traces deterministic
+// across runs (and keeps wall-clock reads out of trace construction).
+var traceBase = time.Unix(1_700_000_000, 0)
+
 // Predefined scales.
 var (
 	// Tiny is for unit tests and benches: everything in a few seconds.

@@ -56,7 +56,7 @@ func LiveFootprint(sc Scale) (*Result, error) {
 		return nil, err
 	}
 	// Observe the idle close-down after the replay ends.
-	time.Sleep(1500 * time.Millisecond)
+	time.Sleep(1500 * time.Millisecond) //ldp:nolint simclock — real wait for the live server's idle close-down
 	monCancel()
 	mon := <-monDone
 

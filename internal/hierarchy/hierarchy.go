@@ -110,6 +110,7 @@ func New(h *zonegen.Hierarchy, cfg Config) (*Emulation, error) {
 		if err != nil {
 			return
 		}
+		//ldp:nolint errcheck — vnet counts undeliverable packets; a dropped response models real packet loss (paper §2.4)
 		_ = net.Send(vnet.Packet{
 			Src:     netip.AddrPortFrom(cfg.MetaAddr, 53),
 			Dst:     pkt.Src,
@@ -169,7 +170,7 @@ func NewDirect(h *zonegen.Hierarchy, cfg Config) (*Emulation, error) {
 		if err != nil {
 			return
 		}
-		_ = net.Send(vnet.Packet{Src: pkt.Dst, Dst: pkt.Src, Payload: wire})
+		_ = net.Send(vnet.Packet{Src: pkt.Dst, Dst: pkt.Src, Payload: wire}) //ldp:nolint errcheck — vnet counts undeliverable packets; drops model packet loss
 	}
 	// The one server answers at every authoritative address.
 	for _, addr := range h.NSAddr {

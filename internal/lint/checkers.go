@@ -1,0 +1,15 @@
+package lint
+
+// DefaultCheckers returns the full project-invariant suite for a module
+// (in practice, "ldplayer"). Order is the reporting order for ldp-vet
+// -list; diagnostics themselves sort by file position.
+func DefaultCheckers(modulePath string) []Checker {
+	return []Checker{
+		TransportOnly{ModulePath: modulePath},
+		SimClock{ModulePath: modulePath},
+		ObsName{ModulePath: modulePath},
+		StatsAtomic{ModulePath: modulePath},
+		ErrCheck{ModulePath: modulePath},
+		MutexBlock{ModulePath: modulePath},
+	}
+}

@@ -1,0 +1,150 @@
+// Package lint is LDplayer's project-specific static-analysis
+// framework: the machinery behind cmd/ldp-vet. The compiler and go vet
+// check Go-level properties; this package checks *LDplayer-level*
+// architectural invariants — all network I/O flows through
+// internal/transport, simulated paths never read the wall clock, obs
+// metric names stay literal and well-formed, errors are never silently
+// dropped, and mutexes are not held across blocking I/O.
+//
+// The framework is stdlib-only: go/parser builds the ASTs, go/types
+// type-checks each package against compiler export data obtained from
+// one `go list -deps -export` invocation, and checkers written against
+// the Checker interface get fully typed syntax to inspect.
+//
+// A finding can be suppressed with a justification comment on the
+// offending line or the line above:
+//
+//	//ldp:nolint <check>[,<check>...] — <why this is safe>
+//
+// A bare //ldp:nolint (no check names) suppresses every check on that
+// line; naming the check is strongly preferred so unrelated regressions
+// on the same line still surface.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that produced it, and
+// a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Checker is one architectural-invariant check. Check receives a fully
+// type-checked package and returns raw findings; the framework applies
+// //ldp:nolint suppression afterwards.
+type Checker interface {
+	// Name is the short identifier used in diagnostics and in
+	// //ldp:nolint comments (lowercase, no spaces).
+	Name() string
+	// Doc is a one-line description for ldp-vet -list.
+	Doc() string
+	Check(p *Package) []Diagnostic
+}
+
+// nolintRe matches the suppression comment. Everything after the check
+// list is free-form justification.
+var nolintRe = regexp.MustCompile(`//\s*ldp:nolint\b[ \t]*([a-z0-9_,\- \t]*)`)
+
+// nolintAt records which checks are suppressed at a given file line.
+// The empty string means "all checks".
+type nolintSet map[int][]string
+
+// collectNolint scans a file's comments and returns line -> suppressed
+// check names. A suppression applies to diagnostics on its own line and
+// on the line immediately below (so a standalone comment guards the
+// statement it precedes).
+func collectNolint(fset *token.FileSet, f *ast.File) nolintSet {
+	set := nolintSet{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := nolintRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			names := parseNolintNames(m[1])
+			set[line] = append(set[line], names...)
+		}
+	}
+	return set
+}
+
+func parseNolintNames(s string) []string {
+	// Cut the justification: check names end at the first "—", "--" or
+	// " - "; commas separate multiple names.
+	for _, sep := range []string{"—", "--", " - "} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	if len(fields) == 0 {
+		return []string{""} // bare ldp:nolint: suppress everything
+	}
+	return fields
+}
+
+// suppressed reports whether a diagnostic from check at line is covered
+// by the set.
+func (s nolintSet) suppressed(check string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, name := range s[l] {
+			if name == "" || name == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies every checker to every package, filters suppressed
+// findings, and returns the remainder sorted by position.
+func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, c := range checkers {
+			for _, d := range c.Check(p) {
+				if p.Nolint[d.Pos.Filename].suppressed(d.Check, d.Pos.Line) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// diag builds a Diagnostic for a node in p.
+func diag(p *Package, check string, node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(node.Pos()),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}

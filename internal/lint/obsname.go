@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsName enforces metric-naming discipline on the observability layer:
+// every name passed to an obs.Registry getter (Counter/Gauge/Histogram)
+// must be a compile-time constant matching the project's
+// lowercase.dot.separated convention. Dynamic names defeat grep, leak
+// unbounded label cardinality into the registry, and silently fork a
+// series when two call sites disagree on spelling. A deliberately
+// dynamic-but-bounded family (e.g. per-rcode counters) carries an
+// //ldp:nolint obsname justification at the call site.
+type ObsName struct {
+	ModulePath string
+}
+
+func (ObsName) Name() string { return "obsname" }
+func (ObsName) Doc() string {
+	return "obs.Registry metric names are literal lowercase dot-separated constants"
+}
+
+var obsGetterNames = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+
+func (c ObsName) Check(p *Package) []Diagnostic {
+	obsPath := c.ModulePath + "/internal/obs"
+	if p.ImportPath == obsPath {
+		return nil // the registry's own implementation and tests
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeOf(p, call)
+			if fn == nil || !obsGetterNames[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isNamedType(sig.Recv().Type(), obsPath, "Registry") {
+				return true
+			}
+			arg := call.Args[0]
+			tv := p.Info.Types[arg]
+			if tv.Value == nil {
+				out = append(out, diag(p, c.Name(), arg,
+					"metric name passed to Registry.%s is not a compile-time constant; "+
+						"name every series literally (or //ldp:nolint obsname for a bounded dynamic family)", fn.Name()))
+				return true
+			}
+			if tv.Value.Kind() == constant.String {
+				name := constant.StringVal(tv.Value)
+				if !metricNameRe.MatchString(name) {
+					out = append(out, diag(p, c.Name(), arg,
+						"metric name %q is not lowercase dot-separated (want e.g. %q)",
+						name, strings.ToLower("server.queries")))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// Shared type-resolution helpers used by the checkers.
+
+// calleeOf resolves the *types.Func a call expression invokes, through
+// selector or plain-identifier callees. Returns nil for builtins, type
+// conversions, and calls through function-typed variables.
+func calleeOf(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcUses yields every identifier in the package that resolves to a
+// *types.Func, paired with that function. This catches both direct calls
+// and function values passed around (e.g. `go net.Dial` or a field
+// initialised to time.Now).
+func funcUses(p *Package, yield func(id *ast.Ident, fn *types.Func)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+				yield(id, fn)
+			}
+			return true
+		})
+	}
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (through pointers/aliases) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// declaredIn reports whether a method's receiver type is declared in
+// pkgPath (interface methods count for the package declaring the
+// interface).
+func declaredIn(fn *types.Func, pkgPath string) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// isClockFuncType reports whether the expression's type is
+// `func() time.Time` — the project's injected-clock seam signature.
+func isClockFuncType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	sig, ok := types.Unalias(tv.Type).(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isNamedType(sig.Results().At(0).Type(), "time", "Time")
+}
+
+// relFile returns the position filename of node relative to the package
+// dir's module root, normalised to forward slashes — e.g.
+// "internal/obs/http.go". Falls back to the raw filename when it is not
+// under root.
+func relFile(p *Package, filename, root string) string {
+	rel := strings.TrimPrefix(filename, root)
+	rel = strings.TrimPrefix(rel, "/")
+	return rel
+}
+
+// exprString renders a (small) expression for use in messages and as a
+// mutex identity key.
+func exprString(p *Package, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StatsAtomic enforces the second half of the obs discipline: shared
+// counter structs (any struct type whose name contains "stats") must not
+// accumulate into plain integer fields unless the struct also carries a
+// mutex that serializes them. PR 2 converted server.Stats to race-free
+// atomics after the race detector caught torn counters; this check keeps
+// the next Stats struct from regressing.
+//
+// A struct is treated as an accumulator only when some pointer-receiver
+// method increments one of its plain numeric fields (x.n++ / x.n += d);
+// snapshot types that are assigned wholesale and returned by value are
+// not accumulators and pass. A struct with a sync.Mutex/RWMutex field is
+// assumed to guard its counters with it. One diagnostic is emitted per
+// struct, at the type declaration, so a deliberate single-goroutine
+// accumulator needs exactly one //ldp:nolint statsatomic justification.
+type StatsAtomic struct {
+	ModulePath string
+}
+
+func (StatsAtomic) Name() string { return "statsatomic" }
+func (StatsAtomic) Doc() string {
+	return "Stats-style counter structs use sync/atomic (or a guarding mutex), not plain ints"
+}
+
+func isSyncMutex(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// statsStruct is one candidate type found in the package.
+type statsStruct struct {
+	spec     *ast.TypeSpec
+	hasMutex bool
+	intField map[string]bool // plain numeric field names
+	bumped   []string        // fields incremented via a pointer receiver
+}
+
+func (c StatsAtomic) Check(p *Package) []Diagnostic {
+	candidates := map[*types.TypeName]*statsStruct{}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok || !strings.Contains(strings.ToLower(spec.Name.Name), "stats") {
+				return true
+			}
+			tn, ok := p.Info.Defs[spec.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			cand := &statsStruct{spec: spec, intField: map[string]bool{}}
+			for _, field := range st.Fields.List {
+				tv, ok := p.Info.Types[field.Type]
+				if !ok {
+					continue
+				}
+				if isSyncMutex(tv.Type) {
+					cand.hasMutex = true
+					continue
+				}
+				if basic, ok := types.Unalias(tv.Type).(*types.Basic); ok &&
+					basic.Info()&(types.IsInteger|types.IsFloat) != 0 {
+					for _, id := range field.Names {
+						cand.intField[id.Name] = true
+					}
+				}
+			}
+			if len(cand.intField) > 0 && !cand.hasMutex {
+				candidates[tn] = cand
+			}
+			return true
+		})
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Find increments of candidate fields through any expression whose
+	// type is (a pointer to) the candidate struct.
+	noteBump := func(x ast.Expr) {
+		sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		tv, ok := p.Info.Types[sel.X]
+		if !ok {
+			return
+		}
+		named := namedOf(tv.Type)
+		if named == nil {
+			return
+		}
+		cand, ok := candidates[named.Obj()]
+		if !ok || !cand.intField[sel.Sel.Name] {
+			return
+		}
+		for _, seen := range cand.bumped {
+			if seen == sel.Sel.Name {
+				return
+			}
+		}
+		cand.bumped = append(cand.bumped, sel.Sel.Name)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				noteBump(n.X)
+			case *ast.AssignStmt:
+				if n.Tok.String() == "+=" || n.Tok.String() == "-=" {
+					for _, lhs := range n.Lhs {
+						noteBump(lhs)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Diagnostic
+	for _, cand := range candidates {
+		if len(cand.bumped) == 0 {
+			continue
+		}
+		out = append(out, diag(p, c.Name(), cand.spec,
+			"%s accumulates into plain numeric fields (%s) with no guarding mutex; "+
+				"use sync/atomic types or obs instruments (or //ldp:nolint statsatomic if it is single-goroutine by construction)",
+			cand.spec.Name.Name, strings.Join(cand.bumped, ", ")))
+	}
+	return out
+}

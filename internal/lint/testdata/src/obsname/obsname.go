@@ -1,0 +1,20 @@
+// Package obstest exercises the obsname checker against the real
+// obs.Registry API: literal lowercase dot-separated names pass,
+// misspelled or dynamic names are flagged.
+package obstest
+
+import "ldplayer/internal/obs"
+
+const goodName = "server.queries.total"
+
+func metrics(reg *obs.Registry, rcode string) {
+	reg.Counter("server.queries").Inc()
+	reg.Counter(goodName).Inc()
+	reg.Gauge("replay.lag_seconds").Set(0)
+	reg.Counter("BadName")                 // want "not lowercase dot-separated"
+	reg.Counter("noseparator")             // want "not lowercase dot-separated"
+	reg.Gauge("Upper.case")                // want "not lowercase dot-separated"
+	reg.Counter("server.rcode." + rcode)   // want "not a compile-time constant"
+	reg.Histogram("server.latency_ms", nil).Observe(1)
+	reg.Counter("server.rcode.x" + rcode) //ldp:nolint obsname — bounded fixture family
+}

@@ -1,0 +1,10 @@
+package seamtest
+
+import "time"
+
+// wallClockOK lives in a file with no clock seam, so it is out of the
+// checker's scope even though the package has a seam elsewhere — scope
+// is per file, matching how the real cache/rrl files opt in.
+func wallClockOK() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,18 @@
+// Package seamtest exercises simclock's clock-seam tier: this file
+// declares a `func() time.Time` field, so scheduling calls in it are
+// flagged while time.Since measurement stays legal.
+package seamtest
+
+import "time"
+
+type cacheLike struct {
+	now func() time.Time
+}
+
+func newCacheLike() *cacheLike {
+	return &cacheLike{now: time.Now} // want "time.Now on a simulated/clock-injected path"
+}
+
+func (c *cacheLike) age(t0 time.Time) time.Duration {
+	return time.Since(t0) // measurement is allowed outside strict packages
+}

@@ -1,0 +1,35 @@
+// Package netsim stands in for a strict virtual-time package (checked
+// under the import path ldplayer/internal/netsim): every wall-clock
+// read, timer, and global-source math/rand call is flagged; seeded
+// sources and suppressed sites pass.
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now on a simulated/clock-injected path"
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want "time.Sleep on a simulated/clock-injected path"
+}
+
+func measures(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock inside a virtual-time package"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "math/rand.Intn draws on the global math/rand source"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func suppressed() time.Time {
+	return time.Now() //ldp:nolint simclock — fixture demonstrating suppression
+}

@@ -1,0 +1,59 @@
+// Package stattest exercises the statsatomic checker: a "stats" struct
+// whose plain numeric fields are incremented in place is flagged once at
+// its declaration; snapshot types, mutex-guarded types, atomic types and
+// suppressed declarations pass.
+package stattest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type flowStats struct { // want "flowStats accumulates into plain numeric fields"
+	packets int
+	bytes   int64
+}
+
+func (s *flowStats) bump(n int) {
+	s.packets++
+	s.bytes += int64(n)
+}
+
+// snapshotStats is assigned wholesale and returned by value — never
+// incremented, so it is not an accumulator.
+type snapshotStats struct {
+	packets int
+	bytes   int64
+}
+
+func snap(s *flowStats) snapshotStats {
+	return snapshotStats{packets: s.packets, bytes: s.bytes}
+}
+
+// guardedStats carries the mutex that serializes its counters.
+type guardedStats struct {
+	mu      sync.Mutex
+	packets int
+}
+
+func (s *guardedStats) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.packets++
+}
+
+// atomicStats is the recommended shape.
+type atomicStats struct {
+	packets atomic.Uint64
+}
+
+func (s *atomicStats) bump() {
+	s.packets.Add(1)
+}
+
+//ldp:nolint statsatomic — single-goroutine fixture accumulator
+type scanStats struct {
+	rows int
+}
+
+func (s *scanStats) bump() { s.rows++ }

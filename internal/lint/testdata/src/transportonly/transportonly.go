@@ -1,0 +1,45 @@
+// Package replaytest exercises the transportonly checker: raw dial and
+// listen calls outside internal/transport are flagged; unrelated net
+// helpers and suppressed call sites are not.
+package replaytest
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+)
+
+func dials() error {
+	c, err := net.Dial("tcp", "127.0.0.1:53") // want "net.Dial opens a raw socket outside internal/transport"
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ln, err := net.Listen("tcp", ":0") // want "net.Listen opens a raw socket outside internal/transport"
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	tc, err := tls.Dial("tcp", "example.com:853", nil) // want "crypto/tls.Dial opens a raw socket"
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	var d net.Dialer
+	cc, err := d.DialContext(context.Background(), "udp", "127.0.0.1:53") // want "net.Dialer..DialContext opens a raw socket"
+	if err != nil {
+		return err
+	}
+	return cc.Close()
+}
+
+// helpersAreFine: net functions that do not open sockets pass.
+func helpersAreFine(host, port string) string {
+	return net.JoinHostPort(host, port)
+}
+
+// controlPlane shows the sanctioned escape hatch.
+func controlPlane() (net.Conn, error) {
+	//ldp:nolint transportonly — control-plane socket in a test fixture
+	return net.Dial("tcp", "127.0.0.1:9")
+}

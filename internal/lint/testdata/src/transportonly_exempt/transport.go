@@ -1,0 +1,15 @@
+// Package transport stands in for internal/transport itself: the one
+// package where raw socket calls are the point, so the checker skips it
+// entirely. The harness type-checks this directory under the import
+// path ldplayer/internal/transport and expects zero findings.
+package transport
+
+import "net"
+
+func dialRaw(addr string) (net.Conn, error) {
+	return net.Dial("udp", addr)
+}
+
+func listenRaw(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TransportOnly enforces the project's central I/O invariant: every
+// socket is opened by internal/transport. Raw net.Dial*/net.Listen*/
+// tls.Dial calls anywhere else bypass the shared Endpoint framing,
+// query-ID accounting, and obs instrumentation, and make code
+// un-runnable on the vnet fabric. The debug HTTP listener in
+// internal/obs/http.go is the one sanctioned exception (it serves
+// humans, not DNS).
+type TransportOnly struct {
+	// ModulePath is the module whose transport package is sanctioned.
+	ModulePath string
+}
+
+func (TransportOnly) Name() string { return "transportonly" }
+func (TransportOnly) Doc() string {
+	return "raw net/tls dial+listen calls are confined to internal/transport (and the obs debug listener)"
+}
+
+// bannedDialListen holds types.Func.FullName() values that open sockets.
+var bannedDialListen = map[string]bool{
+	"net.Dial":                         true,
+	"net.DialTimeout":                  true,
+	"net.DialUDP":                      true,
+	"net.DialTCP":                      true,
+	"net.DialIP":                       true,
+	"net.DialUnix":                     true,
+	"net.Listen":                       true,
+	"net.ListenPacket":                 true,
+	"net.ListenUDP":                    true,
+	"net.ListenTCP":                    true,
+	"net.ListenIP":                     true,
+	"net.ListenUnix":                   true,
+	"net.ListenMulticastUDP":           true,
+	"net.FileListener":                 true,
+	"net.FilePacketConn":               true,
+	"(*net.Dialer).Dial":               true,
+	"(*net.Dialer).DialContext":        true,
+	"(*net.ListenConfig).Listen":       true,
+	"(*net.ListenConfig).ListenPacket": true,
+	"crypto/tls.Dial":                  true,
+	"crypto/tls.DialWithDialer":        true,
+	"crypto/tls.Listen":                true,
+	"(*crypto/tls.Dialer).Dial":        true,
+	"(*crypto/tls.Dialer).DialContext": true,
+}
+
+// transportOnlyExemptFiles are module-relative file paths (suffixes of
+// the position filename) where raw listening is sanctioned.
+var transportOnlyExemptFiles = []string{
+	"internal/obs/http.go", // the -debug-addr HTTP endpoint
+}
+
+func (c TransportOnly) Check(p *Package) []Diagnostic {
+	if p.ImportPath == c.ModulePath+"/internal/transport" {
+		return nil
+	}
+	var out []Diagnostic
+	funcUses(p, func(id *ast.Ident, fn *types.Func) {
+		if !bannedDialListen[fn.FullName()] {
+			return
+		}
+		pos := p.Fset.Position(id.Pos())
+		for _, exempt := range transportOnlyExemptFiles {
+			if strings.HasSuffix(pos.Filename, exempt) {
+				return
+			}
+		}
+		out = append(out, Diagnostic{
+			Pos:   pos,
+			Check: c.Name(),
+			Message: fn.FullName() + " opens a raw socket outside internal/transport; " +
+				"use a transport.Dialer/Listener (or //ldp:nolint transportonly with a justification for control-plane sockets)",
+		})
+	})
+	return out
+}

@@ -14,11 +14,11 @@ func Handler(r *Registry) http.Handler {
 		snap := r.Snapshot()
 		if req.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			snap.WriteText(w)
+			snap.WriteText(w) //ldp:nolint errcheck — write error means the scraper disconnected; nothing to do
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		snap.WriteJSON(w)
+		snap.WriteJSON(w) //ldp:nolint errcheck — write error means the scraper disconnected; nothing to do
 	})
 }
 

@@ -30,7 +30,7 @@ func ServeController(ctx context.Context, ln net.Listener, input trace.Reader, n
 	conns := make([]net.Conn, 0, n)
 	defer func() {
 		for _, c := range conns {
-			c.Close()
+			c.Close() //ldp:nolint errcheck — teardown of control-plane conns; nothing to report to
 		}
 	}()
 	for len(conns) < n {
@@ -42,7 +42,7 @@ func ServeController(ctx context.Context, ln net.Listener, input trace.Reader, n
 			return err
 		}
 		if _, err := conn.Write(controllerMagic); err != nil {
-			conn.Close()
+			conn.Close() //ldp:nolint errcheck — already failing the handshake; the write error is the one reported
 			return err
 		}
 		conns = append(conns, conn)
@@ -83,6 +83,7 @@ func ServeController(ctx context.Context, ln net.Listener, input trace.Reader, n
 // RunRemoteClient connects to a controller and replays the received
 // stream with a local engine (distributor + queriers on this machine).
 func RunRemoteClient(ctx context.Context, controllerAddr string, cfg Config) (*Report, error) {
+	//ldp:nolint transportonly — control-plane stream from the controller, carries trace events not DNS traffic
 	conn, err := net.Dial("tcp", controllerAddr)
 	if err != nil {
 		return nil, err

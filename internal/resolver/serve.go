@@ -54,7 +54,7 @@ func (r *Resolver) ServeUDP(ctx context.Context, conn net.PacketConn, maxInfligh
 		maxInflight = 256
 	}
 	sem := make(chan struct{}, maxInflight)
-	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) }) //ldp:nolint errcheck — best-effort unblock of the read loop on cancel
 	defer stop()
 	var inflight atomic.Int64
 	bp := transport.GetBuf()
@@ -93,7 +93,7 @@ func (r *Resolver) ServeUDP(ctx context.Context, conn net.PacketConn, maxInfligh
 			if err != nil {
 				return
 			}
-			conn.WriteTo(wire, addr)
+			conn.WriteTo(wire, addr) //ldp:nolint errcheck — per-datagram send failure; UDP clients retry, server keeps serving
 		}(req, addr)
 	}
 }

@@ -24,7 +24,7 @@ import (
 // design note).
 func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 	done := make(chan error, s.cfg.UDPWorkers)
-	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) }) //ldp:nolint errcheck — best-effort unblock of the read loop on cancel
 	defer stop()
 	for i := 0; i < s.cfg.UDPWorkers; i++ {
 		go func() { done <- s.udpWorker(ctx, conn) }()
@@ -111,7 +111,7 @@ func (s *Server) ServeStream(ctx context.Context, ln transport.Listener) error {
 }
 
 func (s *Server) serveStream(ctx context.Context, ln transport.Listener, open *obs.Gauge, total, queries *obs.Counter) error {
-	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	stop := context.AfterFunc(ctx, func() { ln.Close() }) //ldp:nolint errcheck — cancel-path teardown; Accept returns the close error
 	defer stop()
 	for {
 		ep, err := ln.Accept()
@@ -137,7 +137,7 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 	buf := *bp
 	var req dnsmsg.Msg
 	for {
-		ep.SetDeadline(time.Now().Add(s.cfg.TCPIdleTimeout))
+		ep.SetDeadline(time.Now().Add(s.cfg.TCPIdleTimeout)) //ldp:nolint errcheck — a failed deadline surfaces as a Recv error on the next read
 		n, err := ep.Recv(buf)
 		if err != nil {
 			return // idle timeout, client close, or malformed framing

@@ -58,8 +58,15 @@ func NewRRL(rps, slip int) *RRL {
 		PrefixBits:         24,
 		Window:             time.Second,
 		buckets:            make(map[netip.Prefix]*rrlBucket),
-		now:                time.Now,
+		now:                time.Now, //ldp:nolint simclock — the one wall-clock default; SetClock injects simulated time
 	}
+}
+
+// SetClock replaces the time source (simulated-time experiments).
+func (r *RRL) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
 }
 
 // Check accounts one response to src and returns the verdict.

@@ -73,7 +73,7 @@ func (s *Stats) countRcode(rc dnsmsg.Rcode) {
 	}
 	c := s.rcodes[rc].Load()
 	if c == nil {
-		c = s.reg.Counter("server.rcode." + rc.String())
+		c = s.reg.Counter("server.rcode." + rc.String()) //ldp:nolint obsname — bounded dynamic family: 16 rcodes, each series cached after first use
 		s.rcodes[rc].Store(c)
 	}
 	c.Inc()
@@ -85,7 +85,7 @@ func (s *Stats) countQtype(t dnsmsg.Type) {
 		v.(*obs.Counter).Inc()
 		return
 	}
-	c := s.reg.Counter("server.qtype." + t.String())
+	c := s.reg.Counter("server.qtype." + t.String()) //ldp:nolint obsname — bounded dynamic family: qtypes seen in traffic, each series cached after first use
 	s.qtypes.Store(t, c)
 	c.Inc()
 }

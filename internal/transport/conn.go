@@ -101,7 +101,7 @@ func (c *Conn) Send(wire []byte, token any) (fresh bool, err error) {
 	bp := GetBuf()
 	buf := append((*bp)[:0], wire...)
 	buf[0], buf[1] = byte(id>>8), byte(id)
-	err = c.ep.Send(buf)
+	err = c.ep.Send(buf) //ldp:nolint mutexblock — per-connection send serialization is the framing contract; ID patch + send must be atomic
 	PutBuf(bp)
 	if err != nil {
 		// The endpoint is broken: fail it over and fail out everything
@@ -156,7 +156,7 @@ func (c *Conn) idleClose() {
 // pending token for drop delivery (outside the lock).
 func (c *Conn) detachLocked() []any {
 	if c.ep != nil {
-		c.ep.Close()
+		c.ep.Close() //ldp:nolint errcheck — detach teardown; pending exchanges already get ErrConnClosed
 		c.ep = nil
 	}
 	if len(c.pending) == 0 {

@@ -74,7 +74,7 @@ func (x *Exchanger) round(ctx context.Context, proto Proto, server netip.AddrPor
 	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
 		deadline = dl
 	}
-	ep.SetDeadline(deadline)
+	ep.SetDeadline(deadline) //ldp:nolint errcheck — a failed deadline surfaces as a Send/Recv error immediately below
 
 	if err := ep.Send(wire); err != nil {
 		return nil, fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)

@@ -52,7 +52,7 @@ func (d *NetDialer) Dial(ctx context.Context, proto Proto, server netip.AddrPort
 		}
 		conn := tls.Client(raw, cfg)
 		if err := conn.HandshakeContext(ctx); err != nil {
-			raw.Close()
+			raw.Close() //ldp:nolint errcheck — already failing the handshake; that error is the one reported
 			return nil, err
 		}
 		return &streamEndpoint{conn: conn}, nil
@@ -101,7 +101,7 @@ func (e *streamEndpoint) Send(msg []byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = e.conn.Write(buf)
+	_, err = e.conn.Write(buf) //ldp:nolint mutexblock — wmu exists to serialize framed writes; interleaved frames would corrupt the stream
 	return err
 }
 

@@ -133,7 +133,26 @@ type parser struct {
 	zone      *Zone
 }
 
+// masterFileSafe reports whether a name token can be written back to a
+// zone file as a bare token. Whitespace, quotes, comment and grouping
+// characters would re-tokenize differently on reparse (a quoted token
+// can smuggle them in), so names carrying them are rejected.
+func masterFileSafe(tok string) bool {
+	for i := 0; i < len(tok); i++ {
+		switch c := tok[i]; {
+		case c == ' ' || c == '\t' || c == '"' || c == ';' || c == '(' || c == ')':
+			return false
+		case c < 0x20 || c == 0x7f:
+			return false
+		}
+	}
+	return true
+}
+
 func (p *parser) name(tok string) (dnsmsg.Name, error) {
+	if !masterFileSafe(tok) {
+		return "", fmt.Errorf("name %q contains characters that cannot round-trip a master file", tok)
+	}
 	if tok == "@" {
 		if p.origin == "" {
 			return "", fmt.Errorf("@ with no origin")
@@ -157,6 +176,9 @@ func (p *parser) record(toks []string) error {
 	case "$ORIGIN":
 		if len(toks) < 2 {
 			return fmt.Errorf("$ORIGIN needs a name")
+		}
+		if !masterFileSafe(toks[1]) {
+			return fmt.Errorf("origin %q contains characters that cannot round-trip a master file", toks[1])
 		}
 		n, err := dnsmsg.ParseName(toks[1])
 		if err != nil {

@@ -269,7 +269,7 @@ func (c *Constructor) place(res *Result, origins []dnsmsg.Name, serves map[dnsms
 	// needs the parent copy, child completeness needs the apex copy.
 	if rr.Type == dnsmsg.TypeNS && rr.Name == target && len(cands) >= 2 {
 		parent := cands[len(cands)-2]
-		_ = res.Zones[parent].Add(rr)
+		_ = res.Zones[parent].Add(rr) //ldp:nolint errcheck — best-effort reconstruction: a record the parent rejects is simply not replicated there
 	}
 	// Prefer an origin the responding server actually serves, when known.
 	if serves != nil && !serves[target] {
@@ -280,7 +280,7 @@ func (c *Constructor) place(res *Result, origins []dnsmsg.Name, serves map[dnsms
 			}
 		}
 	}
-	_ = res.Zones[target].Add(rr)
+	_ = res.Zones[target].Add(rr) //ldp:nolint errcheck — best-effort reconstruction: records conflicting with earlier observations are dropped by design
 
 	// Glue: addresses of a delegated zone's nameservers must also live in
 	// the parent for referrals to carry them.
@@ -291,7 +291,7 @@ func (c *Constructor) place(res *Result, origins []dnsmsg.Name, serves map[dnsms
 			}
 			for i := len(cands) - 2; i >= 0; i-- {
 				if domain.IsSubdomainOf(cands[i]) {
-					_ = res.Zones[cands[i]].Add(rr)
+					_ = res.Zones[cands[i]].Add(rr) //ldp:nolint errcheck — best-effort glue replication; rejection means no referral glue, not an error
 					break
 				}
 			}

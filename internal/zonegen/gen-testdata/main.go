@@ -18,7 +18,9 @@ func main() {
 		if err := wf(f); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 		log.Printf("wrote %s", path)
 	}
 	write("testdata/root.zone", func(f *os.File) error {
