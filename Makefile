@@ -27,18 +27,21 @@ vet:
 # Project-specific static analysis: go vet plus ldp-vet, which enforces
 # LDplayer's architectural invariants (transport-only I/O, simulated
 # clock discipline, metric naming, stats atomicity, error checking,
-# mutex/blocking hygiene). See DESIGN.md "Static analysis & fuzzing".
+# mutex/blocking hygiene, message-pool ownership). See DESIGN.md
+# "Static analysis & fuzzing".
 lint: vet
 	$(GO) run ./cmd/ldp-vet -dir .
 
 # Everything CI runs, in one target.
 check: build vet lint test race
 
-# Short fuzz pass over the three wire-format decoders; CI runs this on
-# every push. Crash inputs land in <pkg>/testdata/fuzz/ — commit them so
-# they become permanent regression seeds.
+# Short fuzz pass over the wire-format decoders (plus the differential
+# pooled-vs-reference decode target); CI runs this on every push. Crash
+# inputs land in <pkg>/testdata/fuzz/ — commit them so they become
+# permanent regression seeds.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzMsgRoundTrip -fuzztime=$(FUZZTIME) ./internal/dnsmsg
+	$(GO) test -fuzz=FuzzUnpackPooledEquivalence -fuzztime=$(FUZZTIME) ./internal/dnsmsg
 	$(GO) test -fuzz=FuzzNameUnpack -fuzztime=$(FUZZTIME) ./internal/dnsmsg
 	$(GO) test -fuzz=FuzzZoneParse -fuzztime=$(FUZZTIME) ./internal/zone
 	$(GO) test -fuzz=FuzzPCAPRead -fuzztime=$(FUZZTIME) ./internal/pcap
@@ -52,11 +55,14 @@ bench:
 	mv bench.tmp bench.out
 	cat bench.out
 
-# Re-measure the gated transport benchmarks and compare against the
-# committed baseline; fails on >20% allocs/op regression.
+# Re-measure the gated hot-path benchmarks (transport exchange, message
+# codec, server answer cache, zone lookup) and compare against the
+# committed baseline; fails on >20% allocs/op regression. These four
+# packages are the serve/replay fast path the pooled codec and answer
+# cache keep allocation-free.
 bench-check:
-	$(GO) test -bench=. -benchmem -run='^$$' ./internal/transport > bench.new || { cat bench.new; rm -f bench.new; exit 1; }
-	$(GO) run ./cmd/ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/transport\.'
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/transport ./internal/dnsmsg ./internal/server ./internal/zone > bench.new || { cat bench.new; rm -f bench.new; exit 1; }
+	$(GO) run ./cmd/ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/(transport|dnsmsg|server|zone)\.'
 
 # Regenerate every table and figure (about six minutes at small scale).
 experiments:

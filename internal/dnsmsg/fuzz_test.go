@@ -3,6 +3,7 @@ package dnsmsg
 import (
 	"bytes"
 	"net/netip"
+	"reflect"
 	"testing"
 )
 
@@ -82,6 +83,53 @@ func FuzzMsgRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(wire, wire2) {
 			t.Fatalf("encode is not a fixpoint:\nfirst:  %x\nsecond: %x", wire, wire2)
+		}
+	})
+}
+
+// FuzzUnpackPooledEquivalence is the differential fuzzer holding the
+// arena decoder (UnpackBuffer) to the reference decoder (Unpack): both
+// must accept/reject identically (same sentinel error), accepted inputs
+// must decode to deep-equal messages (after Detach maps pooled pointer
+// rdata back to value form), re-encode to identical bytes, and — the
+// pool's whole point — decode identically again after Reset reuse has
+// rewound and overwritten the arena.
+func FuzzUnpackPooledEquivalence(f *testing.F) {
+	for _, seed := range fuzzSeedMsgs(f) {
+		f.Add(seed)
+		if len(seed) > 3 {
+			f.Add(seed[:len(seed)-3]) // truncated tail
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ref Msg
+		refErr := ref.Unpack(data)
+		m := GetMsg()
+		defer PutMsg(m)
+		if poolErr := m.UnpackBuffer(data); poolErr != refErr {
+			t.Fatalf("decoders disagree: reference %v, pooled %v\ninput: %x", refErr, poolErr, data)
+		}
+		if refErr != nil {
+			return
+		}
+		if got := m.Detach(); !reflect.DeepEqual(&ref, got) {
+			t.Fatalf("pooled decode diverges:\n got %+v\nwant %+v\ninput: %x", got, &ref, data)
+		}
+		refWire, refPackErr := ref.Pack()
+		poolWire, poolPackErr := m.PackBuffer(nil)
+		if (refPackErr == nil) != (poolPackErr == nil) {
+			t.Fatalf("encoders disagree: reference %v, pooled %v", refPackErr, poolPackErr)
+		}
+		if refPackErr == nil && !bytes.Equal(refWire, poolWire) {
+			t.Fatalf("pooled encode diverges:\n got %x\nwant %x", poolWire, refWire)
+		}
+		// Reuse: UnpackBuffer resets first, so a second decode runs over
+		// the rewound arena. It must reproduce the same message.
+		if err := m.UnpackBuffer(data); err != nil {
+			t.Fatalf("decode after reuse failed: %v", err)
+		}
+		if got := m.Detach(); !reflect.DeepEqual(&ref, got) {
+			t.Fatalf("decode after reuse diverges:\n got %+v\nwant %+v", got, &ref)
 		}
 	})
 }

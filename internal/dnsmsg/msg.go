@@ -38,6 +38,12 @@ type Msg struct {
 	Answer     []RR
 	Authority  []RR
 	Additional []RR
+
+	// ar is the reusable decode/encode arena attached by UnpackBuffer /
+	// PackBuffer / the message pool; nil for messages on the reference
+	// path. It survives SetQuestion/SetReply/Unpack/Reset so a pooled
+	// message keeps its memory across reuse.
+	ar *arena
 }
 
 // Errors returned by message decoding.
@@ -50,27 +56,34 @@ var (
 
 const headerLen = 12
 
-// SetQuestion resets m to a fresh query for (name, type) IN class.
+// SetQuestion resets m to a fresh query for (name, type) IN class. The
+// question slice's capacity is reused, so a pooled message queries
+// without allocating.
 func (m *Msg) SetQuestion(name Name, t Type) *Msg {
 	*m = Msg{
 		ID:               m.ID,
 		RecursionDesired: m.RecursionDesired,
-		Question:         []Question{{Name: name, Type: t, Class: ClassINET}},
+		Question:         append(m.Question[:0], Question{Name: name, Type: t, Class: ClassINET}),
+		ar:               m.ar,
 	}
 	return m
 }
 
 // SetReply turns m into an empty response to query q, copying ID,
-// question, opcode and RD.
+// question, opcode and RD. The question entry aliases q's (including an
+// arena-backed name if q was pool-decoded): pack the reply before q is
+// reset or released.
 func (m *Msg) SetReply(q *Msg) *Msg {
 	*m = Msg{
 		ID:               q.ID,
 		Response:         true,
 		Opcode:           q.Opcode,
 		RecursionDesired: q.RecursionDesired,
+		Question:         m.Question[:0],
+		ar:               m.ar,
 	}
 	if len(q.Question) > 0 {
-		m.Question = []Question{q.Question[0]}
+		m.Question = append(m.Question, q.Question[0])
 	}
 	return m
 }
@@ -124,10 +137,21 @@ func (m *Msg) Pack() ([]byte, error) {
 // here because offsets are taken relative to the start of buf).
 func (m *Msg) AppendPack(buf []byte) ([]byte, error) {
 	if len(buf) != 0 {
-		// Compression offsets are relative to the message start; packing
-		// after existing bytes would corrupt pointers.
-		return nil, fmt.Errorf("dnsmsg: AppendPack requires empty buffer, got %d bytes", len(buf))
+		return nil, errPackNonEmpty(len(buf))
 	}
+	return m.appendPack(buf, make(map[Name]int, 8))
+}
+
+// errPackNonEmpty rejects packing after existing bytes: compression
+// offsets are relative to the message start, so that would corrupt
+// pointers.
+func errPackNonEmpty(n int) error {
+	return fmt.Errorf("dnsmsg: AppendPack requires empty buffer, got %d bytes", n)
+}
+
+// appendPack is the body shared by AppendPack (fresh compression map)
+// and PackBuffer (arena-held, cleared map).
+func (m *Msg) appendPack(buf []byte, cmap map[Name]int) ([]byte, error) {
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -160,7 +184,6 @@ func (m *Msg) AppendPack(buf []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authority)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additional)))
 
-	cmap := make(map[Name]int, 8)
 	var err error
 	for _, q := range m.Question {
 		if buf, err = appendName(buf, q.Name, cmap); err != nil {
@@ -189,6 +212,7 @@ func (m *Msg) Unpack(data []byte) error {
 	}
 	flags := binary.BigEndian.Uint16(data[2:])
 	*m = Msg{
+		ar:                 m.ar,
 		ID:                 binary.BigEndian.Uint16(data[0:]),
 		Response:           flags&(1<<15) != 0,
 		Opcode:             Opcode(flags >> 11 & 0xF),
@@ -299,9 +323,13 @@ func (m *Msg) String() string {
 }
 
 // Copy returns a deep-enough copy: section slices are duplicated; rdata
-// values are immutable by convention so they are shared.
+// values are immutable by convention so they are shared. The copy does
+// not share the arena (two messages resetting one arena would corrupt
+// each other) — use Detach to copy a pooled message's arena-backed
+// contents out.
 func (m *Msg) Copy() *Msg {
 	c := *m
+	c.ar = nil
 	c.Question = append([]Question(nil), m.Question...)
 	c.Answer = append([]RR(nil), m.Answer...)
 	c.Authority = append([]RR(nil), m.Authority...)

@@ -11,5 +11,6 @@ func DefaultCheckers(modulePath string) []Checker {
 		StatsAtomic{ModulePath: modulePath},
 		ErrCheck{ModulePath: modulePath},
 		MutexBlock{ModulePath: modulePath},
+		PoolReturn{ModulePath: modulePath},
 	}
 }

@@ -75,6 +75,7 @@ func TestGolden(t *testing.T) {
 		{"statsatomic", mod + "/internal/stattest", StatsAtomic{ModulePath: mod}},
 		{"errcheck", mod + "/internal/errtest", ErrCheck{ModulePath: mod}},
 		{"mutexblock", mod + "/internal/mutextest", MutexBlock{ModulePath: mod}},
+		{"poolreturn", mod + "/internal/pooltest", PoolReturn{ModulePath: mod}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -154,7 +155,7 @@ func TestDefaultCheckers(t *testing.T) {
 			t.Errorf("checker %q has no doc", name)
 		}
 	}
-	for _, name := range []string{"transportonly", "simclock", "obsname", "statsatomic", "errcheck", "mutexblock"} {
+	for _, name := range []string{"transportonly", "simclock", "obsname", "statsatomic", "errcheck", "mutexblock", "poolreturn"} {
 		if !seen[name] {
 			t.Errorf("DefaultCheckers missing %q", name)
 		}

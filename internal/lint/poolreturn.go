@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// PoolReturn checks the message-pool ownership contract around
+// dnsmsg.GetMsg/PutMsg: every pooled message must go back to the pool on
+// every path out of the function that acquired it. A leaked message is
+// not a correctness bug — the pool just allocates a fresh one — but it
+// silently converts the zero-allocation serve and replay hot paths back
+// into one-allocation-per-query code, which is exactly the regression
+// class the benchmark gate exists to catch.
+//
+// The analysis is path-sensitive in the same deliberately simple way as
+// mutexblock: within each function body it scans statement lists in
+// source order, tracking variables bound to a GetMsg result, and flags
+// the GetMsg call when some exit path — a return statement, falling off
+// the end of the function, or a continue that re-enters the loop
+// iteration that acquired the message — is reached with the message
+// still held. Releases it understands: dnsmsg.PutMsg(m) anywhere in a
+// leaf statement, including inside nested function literals (deferred
+// cleanup closures, goroutine bodies that capture m); returning the
+// message (ownership moves to the caller); and passing the message as an
+// argument of a go or defer call (ownership moves to the spawned body,
+// whose own discipline is checked when its function literal is scanned).
+// Subtler transfers — sending the message on a channel, stashing it in a
+// struct — carry an //ldp:nolint poolreturn comment on the GetMsg line
+// with the ownership story (see resolver.ServeUDP). Leaks via break or
+// goto are not modeled.
+type PoolReturn struct {
+	ModulePath string
+}
+
+func (PoolReturn) Name() string { return "poolreturn" }
+func (PoolReturn) Doc() string {
+	return "heuristic: every dnsmsg.GetMsg is matched by PutMsg on all exit paths"
+}
+
+// isPoolCall reports whether call invokes internal/dnsmsg's name
+// (GetMsg or PutMsg).
+func (c PoolReturn) isPoolCall(p *Package, call *ast.CallExpr, name string) bool {
+	fn := calleeOf(p, call)
+	return fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == c.ModulePath+"/internal/dnsmsg" && fn.Name() == name
+}
+
+func (c PoolReturn) Check(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Every function-shaped body is scanned independently; the
+			// outer scan never descends into a FuncLit's statements, so
+			// nothing is reported twice.
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkBody(p, fn.Body, &out)
+				}
+			case *ast.FuncLit:
+				c.checkBody(p, fn.Body, &out)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkBody scans one function body. held maps a variable name to the
+// GetMsg call that bound it (the diagnostic anchor, so a line-level
+// //ldp:nolint on the GetMsg suppresses every path it would leak on);
+// reported dedupes so each GetMsg is flagged once even when several
+// paths leak it.
+func (c PoolReturn) checkBody(p *Package, body *ast.BlockStmt, out *[]Diagnostic) {
+	held := map[string]*ast.CallExpr{}
+	reported := map[*ast.CallExpr]bool{}
+	end := c.scanList(p, body.List, held, nil, reported, out)
+	if !terminates(body.List) {
+		c.flagHeld(p, end, nil, reported, out,
+			p.Fset.Position(body.Rbrace).Line, "fall-through")
+	}
+}
+
+// scanList walks one statement list in source order, maintaining the set
+// of held messages, and returns the state at the end of the list. outer
+// names the messages already held when the innermost enclosing loop was
+// entered — a continue leaks only what the current iteration acquired.
+// Branches merge as a union: a message counts as held afterwards if ANY
+// surviving path still holds it, since the check is for the existence of
+// a leaky path.
+func (c PoolReturn) scanList(p *Package, stmts []ast.Stmt, held map[string]*ast.CallExpr, outer map[string]bool, reported map[*ast.CallExpr]bool, out *[]Diagnostic) map[string]*ast.CallExpr {
+	branch := func(list []ast.Stmt, loopOuter map[string]bool) map[string]*ast.CallExpr {
+		if loopOuter == nil {
+			loopOuter = outer
+		}
+		return c.scanList(p, list, copyHeld(held), loopOuter, reported, out)
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, r := range s.Rhs {
+					call, ok := ast.Unparen(r).(*ast.CallExpr)
+					if !ok || !c.isPoolCall(p, call, "GetMsg") {
+						continue
+					}
+					if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						held[id.Name] = call
+					} else if !reported[call] {
+						reported[call] = true
+						*out = append(*out, diag(p, c.Name(), call,
+							"dnsmsg.GetMsg result is discarded — the message can never be returned to the pool"))
+					}
+				}
+			}
+			c.releaseIn(p, s, held)
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, v := range vs.Values {
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok && c.isPoolCall(p, call, "GetMsg") {
+						held[vs.Names[i].Name] = call
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && c.isPoolCall(p, call, "GetMsg") && !reported[call] {
+				reported[call] = true
+				*out = append(*out, diag(p, c.Name(), call,
+					"dnsmsg.GetMsg result is discarded — the message can never be returned to the pool"))
+				continue
+			}
+			c.releaseIn(p, s, held)
+		case *ast.DeferStmt:
+			c.releaseIn(p, s, held)
+			c.releaseArgs(s.Call, held)
+		case *ast.GoStmt:
+			c.releaseIn(p, s, held)
+			c.releaseArgs(s.Call, held)
+		case *ast.ReturnStmt:
+			// A return whose expression mentions the message hands it off
+			// to the caller, which owns it from here.
+			for _, r := range s.Results {
+				ast.Inspect(r, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						delete(held, id.Name)
+					}
+					return true
+				})
+			}
+			c.flagHeld(p, held, nil, reported, out,
+				p.Fset.Position(s.Pos()).Line, "return")
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE {
+				c.flagHeld(p, held, outer, reported, out,
+					p.Fset.Position(s.Pos()).Line, "continue")
+			}
+		case *ast.BlockStmt:
+			held = c.scanList(p, s.List, held, outer, reported, out)
+		case *ast.LabeledStmt:
+			held = c.scanList(p, []ast.Stmt{s.Stmt}, held, outer, reported, out)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				held = c.scanList(p, []ast.Stmt{s.Init}, held, outer, reported, out)
+			}
+			bodyEnd := branch(s.Body.List, nil)
+			var survivors []map[string]*ast.CallExpr
+			if !terminates(s.Body.List) {
+				survivors = append(survivors, bodyEnd)
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseEnd := branch(e.List, nil)
+				if !terminates(e.List) {
+					survivors = append(survivors, elseEnd)
+				}
+			case *ast.IfStmt:
+				survivors = append(survivors, branch([]ast.Stmt{e}, nil))
+			default: // no else: the condition-false path keeps the entry state
+				survivors = append(survivors, held)
+			}
+			held = unionHeld(survivors)
+		case *ast.ForStmt:
+			if s.Init != nil {
+				held = c.scanList(p, []ast.Stmt{s.Init}, held, outer, reported, out)
+			}
+			held = unionHeld([]map[string]*ast.CallExpr{held, branch(s.Body.List, keysOf(held))})
+		case *ast.RangeStmt:
+			held = unionHeld([]map[string]*ast.CallExpr{held, branch(s.Body.List, keysOf(held))})
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var body *ast.BlockStmt
+			var init ast.Stmt
+			if sw, ok := s.(*ast.SwitchStmt); ok {
+				body, init = sw.Body, sw.Init
+			} else {
+				ts := s.(*ast.TypeSwitchStmt)
+				body, init = ts.Body, ts.Init
+			}
+			if init != nil {
+				held = c.scanList(p, []ast.Stmt{init}, held, outer, reported, out)
+			}
+			survivors := []map[string]*ast.CallExpr{held}
+			for _, cl := range body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					end := branch(cc.Body, nil)
+					if !terminates(cc.Body) {
+						survivors = append(survivors, end)
+					}
+				}
+			}
+			held = unionHeld(survivors)
+		case *ast.SelectStmt:
+			survivors := []map[string]*ast.CallExpr{held}
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					end := branch(cc.Body, nil)
+					if !terminates(cc.Body) {
+						survivors = append(survivors, end)
+					}
+				}
+			}
+			held = unionHeld(survivors)
+		}
+	}
+	return held
+}
+
+// releaseIn clears any held message that a PutMsg call anywhere inside
+// node — including inside nested function literals — names directly.
+func (c PoolReturn) releaseIn(p *Package, node ast.Node, held map[string]*ast.CallExpr) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !c.isPoolCall(p, call, "PutMsg") {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+				delete(held, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// releaseArgs treats a held message passed as an argument of a go or
+// defer call as an ownership transfer to the spawned body.
+func (c PoolReturn) releaseArgs(call *ast.CallExpr, held map[string]*ast.CallExpr) {
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			delete(held, id.Name)
+		}
+	}
+}
+
+// flagHeld reports every still-held message (minus outer, when set) as a
+// leak on the exit path at line. The diagnostic anchors at the GetMsg
+// call so a //ldp:nolint poolreturn on that line covers all its paths.
+func (c PoolReturn) flagHeld(p *Package, held map[string]*ast.CallExpr, outer map[string]bool, reported map[*ast.CallExpr]bool, out *[]Diagnostic, line int, how string) {
+	names := make([]string, 0, len(held))
+	for name := range held {
+		if outer != nil && outer[name] {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		call := held[name]
+		if reported[call] {
+			continue
+		}
+		reported[call] = true
+		*out = append(*out, diag(p, c.Name(), call,
+			"dnsmsg.GetMsg result %s is not returned to the pool on the %s at line %d; PutMsg on every exit path (or //ldp:nolint poolreturn with the ownership story)",
+			name, how, line))
+	}
+}
+
+func copyHeld(m map[string]*ast.CallExpr) map[string]*ast.CallExpr {
+	out := make(map[string]*ast.CallExpr, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// unionHeld merges surviving-path states: held on any path means held.
+func unionHeld(states []map[string]*ast.CallExpr) map[string]*ast.CallExpr {
+	out := make(map[string]*ast.CallExpr)
+	for _, s := range states {
+		for k, v := range s {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func keysOf(m map[string]*ast.CallExpr) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

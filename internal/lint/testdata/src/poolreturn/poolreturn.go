@@ -1,0 +1,117 @@
+// Package pooltest exercises the poolreturn checker: GetMsg results
+// that leak on an early return, on loop re-entry, or by falling off the
+// end of the function are flagged; deferred PutMsg, per-branch PutMsg,
+// goroutine handoff, returning the message, and suppressed sites pass.
+package pooltest
+
+import "ldplayer/internal/dnsmsg"
+
+// leakEarlyReturn drops the message on the error path.
+func leakEarlyReturn(buf []byte) error {
+	m := dnsmsg.GetMsg() // want "GetMsg result m is not returned to the pool on the return"
+	if err := m.UnpackBuffer(buf); err != nil {
+		return err
+	}
+	dnsmsg.PutMsg(m)
+	return nil
+}
+
+// deferredPut covers every path with one defer.
+func deferredPut(buf []byte) error {
+	m := dnsmsg.GetMsg()
+	defer dnsmsg.PutMsg(m)
+	return m.UnpackBuffer(buf)
+}
+
+// branchesRelease puts the message back explicitly on each path.
+func branchesRelease(buf []byte) int {
+	m := dnsmsg.GetMsg()
+	if err := m.UnpackBuffer(buf); err != nil {
+		dnsmsg.PutMsg(m)
+		return 0
+	}
+	n := len(m.Question)
+	dnsmsg.PutMsg(m)
+	return n
+}
+
+// leakAtEnd falls off the end of the function still holding the message.
+func leakAtEnd(buf []byte) {
+	m := dnsmsg.GetMsg() // want "GetMsg result m is not returned to the pool on the fall-through"
+	m.UnpackBuffer(buf)  //ldp:nolint errcheck — fixture: decode outcome irrelevant
+}
+
+// deferredClosure releases inside a deferred function literal.
+func deferredClosure(buf []byte) error {
+	m := dnsmsg.GetMsg()
+	defer func() {
+		m.Answer = nil
+		dnsmsg.PutMsg(m)
+	}()
+	return m.UnpackBuffer(buf)
+}
+
+// goroutineHandoff transfers ownership to the spawned body, whose own
+// discipline (the deferred PutMsg on its parameter) is checked when the
+// literal is scanned.
+func goroutineHandoff(buf []byte) {
+	m := dnsmsg.GetMsg()
+	if err := m.UnpackBuffer(buf); err != nil {
+		dnsmsg.PutMsg(m)
+		return
+	}
+	go func(req *dnsmsg.Msg) {
+		defer dnsmsg.PutMsg(req)
+	}(m)
+}
+
+// returnsOwnership hands the message to the caller.
+func returnsOwnership(buf []byte) *dnsmsg.Msg {
+	m := dnsmsg.GetMsg()
+	if err := m.UnpackBuffer(buf); err != nil {
+		dnsmsg.PutMsg(m)
+		return nil
+	}
+	return m
+}
+
+// loopLeak re-enters the acquiring iteration without releasing.
+func loopLeak(bufs [][]byte) int {
+	n := 0
+	for _, b := range bufs {
+		m := dnsmsg.GetMsg() // want "GetMsg result m is not returned to the pool on the continue"
+		if err := m.UnpackBuffer(b); err != nil {
+			continue
+		}
+		n += len(m.Question)
+		dnsmsg.PutMsg(m)
+	}
+	return n
+}
+
+// loopClean releases before every continue and at the iteration end.
+func loopClean(bufs [][]byte) int {
+	n := 0
+	for _, b := range bufs {
+		m := dnsmsg.GetMsg()
+		if err := m.UnpackBuffer(b); err != nil {
+			dnsmsg.PutMsg(m)
+			continue
+		}
+		n += len(m.Question)
+		dnsmsg.PutMsg(m)
+	}
+	return n
+}
+
+// discarded never binds the message at all.
+func discarded() {
+	dnsmsg.GetMsg() // want "GetMsg result is discarded"
+}
+
+// suppressed documents a transfer the checker cannot see (a channel
+// receiver returns the message).
+func suppressed(ch chan *dnsmsg.Msg) {
+	m := dnsmsg.GetMsg() //ldp:nolint poolreturn — fixture: the channel receiver returns it
+	ch <- m
+}

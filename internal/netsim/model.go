@@ -132,17 +132,28 @@ type Server struct {
 	bytesOut   uint64
 	queries    uint64
 	handshakes uint64
+
+	// idleCheckFn/timeWaitFn are the connection-lifecycle handlers bound
+	// once at construction and scheduled via AtArg/AfterArg: a TCP/TLS
+	// run fires millions of idle checks and TIME_WAIT expiries, and a
+	// fresh closure per scheduling used to dominate the footprint
+	// benchmarks' allocation count.
+	idleCheckFn func(any)
+	timeWaitFn  func(any)
 }
 
 // NewServer attaches a simulated server to sim.
 func NewServer(sim *Sim, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		sim:   sim,
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 		conns: make(map[netip.Addr]*connState),
 	}
+	s.idleCheckFn = func(a any) { s.idleCheck(a.(*connState)) }
+	s.timeWaitFn = func(any) { s.timeWait-- }
+	return s
 }
 
 // Query simulates one query from a client at the given RTT, returning
@@ -194,30 +205,30 @@ func (s *Server) Query(ev *trace.Event, rtt time.Duration) (latency time.Duratio
 			latency += rtt + time.Duration(s.rng.Int63n(int64(40*time.Millisecond)))
 		}
 		st.lastUse = s.sim.Now()
-		s.armIdleClose(ev.Src.Addr(), st)
+		s.armIdleClose(st)
 		return latency
 	}
 	return rtt
 }
 
 // armIdleClose schedules (or reschedules) the idle-timeout check.
-func (s *Server) armIdleClose(addr netip.Addr, st *connState) {
+func (s *Server) armIdleClose(st *connState) {
 	fireAt := st.lastUse + s.cfg.IdleTimeout
 	if st.closeAt >= fireAt && st.closeAt > s.sim.Now() {
 		return // an adequate check is already pending
 	}
 	st.closeAt = fireAt
-	s.sim.At(fireAt, func() { s.idleCheck(addr, st) })
+	s.sim.AtArg(fireAt, s.idleCheckFn, st)
 }
 
-func (s *Server) idleCheck(addr netip.Addr, st *connState) {
+func (s *Server) idleCheck(st *connState) {
 	if !st.open {
 		return
 	}
 	if s.sim.Now() < st.lastUse+s.cfg.IdleTimeout {
 		due := st.lastUse + s.cfg.IdleTimeout
 		st.closeAt = due
-		s.sim.At(due, func() { s.idleCheck(addr, st) })
+		s.sim.AtArg(due, s.idleCheckFn, st)
 		return
 	}
 	s.closeConn(st)
@@ -230,7 +241,7 @@ func (s *Server) closeConn(st *connState) {
 	s.established--
 	s.cpu(s.cfg.Costs.TCPClose)
 	s.timeWait++
-	s.sim.After(s.cfg.TimeWait, func() { s.timeWait-- })
+	s.sim.AfterArg(s.cfg.TimeWait, s.timeWaitFn, nil)
 }
 
 func (s *Server) cpu(d time.Duration) { s.cpuBusy += d }

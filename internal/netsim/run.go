@@ -86,22 +86,24 @@ func Run(tr *trace.Trace, cfg RunConfig) *RunReport {
 	}
 	sim.After(cfg.SampleEvery, sample)
 
-	// Schedule every query at its trace offset.
+	// Schedule every query at its trace offset. One handler bound once +
+	// AtArg per event keeps scheduling allocation-free per query (a
+	// million-query trace used to cost a closure each).
+	runQuery := func(a any) {
+		ev := a.(*trace.Event)
+		r := rtt(ev.Src.Addr())
+		lat := srv.Query(ev, r)
+		if cfg.KeepLatencies {
+			rep.Latencies = append(rep.Latencies, LatencySample{
+				Src: ev.Src.Addr(), Proto: ev.Proto, Latency: lat,
+			})
+		}
+	}
 	for _, ev := range tr.Events {
 		if !ev.IsQuery() {
 			continue
 		}
-		ev := ev
-		off := ev.Time.Sub(start)
-		sim.At(off, func() {
-			r := rtt(ev.Src.Addr())
-			lat := srv.Query(ev, r)
-			if cfg.KeepLatencies {
-				rep.Latencies = append(rep.Latencies, LatencySample{
-					Src: ev.Src.Addr(), Proto: ev.Proto, Latency: lat,
-				})
-			}
-		})
+		sim.AtArg(ev.Time.Sub(start), runQuery, ev)
 	}
 
 	// Run past the end so idle closes and TIME_WAIT drains are observed
@@ -121,9 +123,42 @@ func Run(tr *trace.Trace, cfg RunConfig) *RunReport {
 // simulator's response-size source: every simulated query is actually
 // answered by srv from its zones, so response bytes in the report are
 // genuine wire sizes — only time is simulated.
+//
+// When srv exposes the wire-to-wire hot path (server.Server does), the
+// responder rides it: pooled decode, pre-packed answer cache, reused
+// output buffer. The returned closure carries that scratch state, so it
+// must be driven from one goroutine — which the simulator's event loop
+// is. Servers without HandleQueryWire fall back to the reference
+// HandleQuery + Pack path.
 func ResponderFromServer(srv interface {
 	HandleQuery(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg
 }) func(ev *trace.Event) int {
+	prefix := func(ev *trace.Event, n int) int {
+		// Stream transports add the 2-byte length prefix.
+		if ev.Proto != trace.UDP {
+			return n + 2
+		}
+		return n
+	}
+	if wh, ok := srv.(interface {
+		HandleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, out []byte) ([]byte, error)
+	}); ok {
+		// new(Msg), not GetMsg: the scratch lives as long as the closure,
+		// so there is no point on any path where it could be returned.
+		req := new(dnsmsg.Msg)
+		var out []byte
+		return func(ev *trace.Event) int {
+			if err := req.UnpackBuffer(ev.Wire); err != nil {
+				return 0
+			}
+			wire, err := wh.HandleQueryWire(ev.Src.Addr(), req, 0, out[:0])
+			if err != nil {
+				return 0
+			}
+			out = wire[:0]
+			return prefix(ev, len(wire))
+		}
+	}
 	return func(ev *trace.Event) int {
 		var req dnsmsg.Msg
 		if err := req.Unpack(ev.Wire); err != nil {
@@ -134,10 +169,6 @@ func ResponderFromServer(srv interface {
 		if err != nil {
 			return 0
 		}
-		// Stream transports add the 2-byte length prefix.
-		if ev.Proto != trace.UDP {
-			return len(wire) + 2
-		}
-		return len(wire)
+		return prefix(ev, len(wire))
 	}
 }

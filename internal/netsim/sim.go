@@ -14,7 +14,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -25,30 +24,69 @@ type Sim struct {
 	seq    uint64
 }
 
+// event is stored by value in the queue: hour-long simulated runs push
+// one event per query, and a heap of values costs one slab instead of
+// one heap object (plus interface boxing) per event. Events carry
+// either a plain closure (fn) or a pre-bound handler and its argument
+// (fnArg/arg), so steady-state scheduling via AtArg needs no per-event
+// closure allocation either.
 type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tie-break for determinism
-	fn  func()
+	at    time.Duration
+	seq   uint64 // FIFO tie-break for determinism
+	fn    func()
+	fnArg func(any)
+	arg   any
 }
 
-type eventQueue []*event
+// eventQueue is a hand-rolled min-heap of event values ordered by
+// (at, seq). container/heap forces an interface{} element round-trip
+// through Push/Pop, which boxes every event; this keeps them flat.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure/arg for GC
+	*q = h[:n]
+	h = h[:n]
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 // New creates an empty simulation at time zero.
@@ -63,24 +101,44 @@ func (s *Sim) At(t time.Duration, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t (clamped to now).
+// It is At for hot scheduling loops: one fn bound once plus a per-event
+// arg replaces a per-event closure, so scheduling a million trace
+// queries allocates nothing beyond the event slab.
+func (s *Sim) AtArg(t time.Duration, fn func(any), arg any) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.events.push(event{at: t, seq: s.seq, fnArg: fn, arg: arg})
 }
 
 // After schedules fn delay after the current time.
 func (s *Sim) After(delay time.Duration, fn func()) { s.At(s.now+delay, fn) }
 
+// AfterArg schedules fn(arg) delay after the current time.
+func (s *Sim) AfterArg(delay time.Duration, fn func(any), arg any) {
+	s.AtArg(s.now+delay, fn, arg)
+}
+
 // Run executes events until the queue drains or until the given virtual
 // time is passed (inclusive). Zero `until` means run to completion.
 func (s *Sim) Run(until time.Duration) {
-	for s.events.Len() > 0 {
-		e := s.events[0]
-		if until > 0 && e.at > until {
+	for len(s.events) > 0 {
+		if until > 0 && s.events[0].at > until {
 			s.now = until
 			return
 		}
-		heap.Pop(&s.events)
+		e := s.events.pop()
 		s.now = e.at
-		e.fn()
+		if e.fnArg != nil {
+			e.fnArg(e.arg)
+		} else {
+			e.fn()
+		}
 	}
 	if until > s.now {
 		s.now = until
@@ -88,4 +146,4 @@ func (s *Sim) Run(until time.Duration) {
 }
 
 // Pending reports how many events remain queued.
-func (s *Sim) Pending() int { return s.events.Len() }
+func (s *Sim) Pending() int { return len(s.events) }

@@ -42,6 +42,18 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// CounterFunc is a pull-style counter: the value is computed by a
+// callback at scrape time instead of pushed by writers. It bridges
+// components that keep their own atomic counters and must not depend
+// on obs (the dnsmsg message pool sits below every other package), at
+// the cost of the callback running on every snapshot.
+type CounterFunc struct {
+	fn func() uint64
+}
+
+// Value invokes the callback.
+func (c *CounterFunc) Value() uint64 { return c.fn() }
+
 // Gauge is an instantaneous float64 value (a level, not a total):
 // currently open connections, the replay clock's current offset, a rate.
 type Gauge struct {

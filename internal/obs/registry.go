@@ -14,7 +14,7 @@ import (
 // in expvar).
 type Registry struct {
 	mu sync.Mutex // serializes creation only
-	m  sync.Map   // name -> *Counter | *Gauge | *Histogram
+	m  sync.Map   // name -> *Counter | *CounterFunc | *Gauge | *Histogram
 }
 
 // NewRegistry creates an empty registry. Components that need private
@@ -41,6 +41,23 @@ func (r *Registry) Counter(name string) *Counter {
 		return mustKind[*Counter](name, v)
 	}
 	c := &Counter{}
+	r.m.Store(name, c)
+	return c
+}
+
+// CounterFunc registers a pull-style counter computed by fn at scrape
+// time, creating it if needed. An existing registration under the same
+// name keeps its original callback.
+func (r *Registry) CounterFunc(name string, fn func() uint64) *CounterFunc {
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*CounterFunc](name, v)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m.Load(name); ok {
+		return mustKind[*CounterFunc](name, v)
+	}
+	c := &CounterFunc{fn: fn}
 	r.m.Store(name, c)
 	return c
 }

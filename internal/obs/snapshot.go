@@ -76,6 +76,8 @@ func (r *Registry) Snapshot() Snapshot {
 		switch v := inst.(type) {
 		case *Counter:
 			s.Counters[name] = v.Value()
+		case *CounterFunc:
+			s.Counters[name] = v.Value()
 		case *Gauge:
 			s.Gauges[name] = v.Value()
 		case *Histogram:

@@ -1,8 +1,10 @@
 package replay
 
 import (
+	"sync/atomic"
 	"time"
 
+	"ldplayer/internal/dnsmsg"
 	"ldplayer/internal/obs"
 )
 
@@ -11,6 +13,8 @@ import (
 // response time so a debug endpoint watches the replay progress while it
 // runs. The end-of-run Report is a view over these instruments.
 type stats struct {
+	reg *obs.Registry
+
 	sent        *obs.Counter
 	responses   *obs.Counter
 	sendErrs    *obs.Counter
@@ -18,6 +22,15 @@ type stats struct {
 	connsOpened *obs.Counter
 	idExhausted *obs.Counter
 	bytesSent   *obs.Counter
+	// badResponses counts matched responses whose wire form failed to
+	// decode — a server answering garbage shows up here, not as silence.
+	badResponses *obs.Counter
+
+	// rcodes breaks responses down by rcode (decoded in the connection
+	// read loops through the pooled codec). Same lazy-counter idiom as
+	// the server's: one atomic load + add per response once a series
+	// exists.
+	rcodes [16]atomic.Pointer[obs.Counter]
 
 	// rtt is the query→response latency distribution, live — the series
 	// behind the paper's Fig 11/15 percentile plots.
@@ -35,17 +48,19 @@ type stats struct {
 
 func newStats(reg *obs.Registry) *stats {
 	return &stats{
-		sent:        reg.Counter("replay.sent"),
-		responses:   reg.Counter("replay.responses"),
-		sendErrs:    reg.Counter("replay.send_errors"),
-		timeouts:    reg.Counter("replay.timeouts"),
-		connsOpened: reg.Counter("replay.conns_opened"),
-		idExhausted: reg.Counter("replay.id_exhausted"),
-		bytesSent:   reg.Counter("replay.bytes_sent"),
-		rtt:         reg.Histogram("replay.rtt_seconds", obs.LatencyBuckets),
-		sendLag:     reg.Histogram("replay.send_lag_seconds", obs.LatencyBuckets),
-		traceOffset: reg.Gauge("replay.trace_offset_seconds"),
-		wallOffset:  reg.Gauge("replay.wall_offset_seconds"),
+		reg:          reg,
+		sent:         reg.Counter("replay.sent"),
+		responses:    reg.Counter("replay.responses"),
+		sendErrs:     reg.Counter("replay.send_errors"),
+		timeouts:     reg.Counter("replay.timeouts"),
+		connsOpened:  reg.Counter("replay.conns_opened"),
+		idExhausted:  reg.Counter("replay.id_exhausted"),
+		bytesSent:    reg.Counter("replay.bytes_sent"),
+		badResponses: reg.Counter("replay.bad_responses"),
+		rtt:          reg.Histogram("replay.rtt_seconds", obs.LatencyBuckets),
+		sendLag:      reg.Histogram("replay.send_lag_seconds", obs.LatencyBuckets),
+		traceOffset:  reg.Gauge("replay.trace_offset_seconds"),
+		wallOffset:   reg.Gauge("replay.wall_offset_seconds"),
 	}
 }
 
@@ -66,6 +81,20 @@ func statValues(st *stats) counterValues {
 		idExhausted: st.idExhausted.Value(),
 		bytesSent:   st.bytesSent.Value(),
 	}
+}
+
+// countRcode bumps the per-rcode response counter, creating the series
+// on first sighting.
+func (st *stats) countRcode(rc dnsmsg.Rcode) {
+	if int(rc) >= len(st.rcodes) {
+		return
+	}
+	c := st.rcodes[rc].Load()
+	if c == nil {
+		c = st.reg.Counter("replay.rcode." + rc.String()) //ldp:nolint obsname — bounded dynamic family: 16 rcodes, each series cached after first use
+		st.rcodes[rc].Store(c)
+	}
+	c.Inc()
 }
 
 // observeSend records one dispatched query's schedule position.

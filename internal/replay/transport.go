@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"time"
 
+	"ldplayer/internal/dnsmsg"
 	"ldplayer/internal/trace"
 	"ldplayer/internal/transport"
 )
@@ -35,6 +36,17 @@ func (q *querier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
 		Dial: q.dialFunc(proto),
 		OnResponse: func(token any, rtt time.Duration, _ []byte) {
 			q.recordResponse(token.(int), rtt)
+		},
+		// The decoded view (read loop's pooled message, zero extra
+		// allocation) feeds the per-rcode breakdown — the live view of
+		// whether the replayed server answered with data, NXDOMAIN, or
+		// errors, which raw wire matching cannot see.
+		OnResponseMsg: func(_ any, _ time.Duration, m *dnsmsg.Msg) {
+			if m == nil {
+				q.st.badResponses.Inc()
+				return
+			}
+			q.st.countRcode(m.Rcode)
 		},
 		OnDrop: func(any) { q.recordDrop() },
 	}

@@ -76,18 +76,27 @@ func (r *Resolver) ServeUDP(ctx context.Context, conn net.PacketConn, maxInfligh
 			}
 			return err
 		}
-		req := &dnsmsg.Msg{}
-		if err := req.Unpack(buf[:n]); err != nil {
+		// Decode through the message pool; ownership of req transfers to
+		// the handler goroutine, which returns it. The question name is
+		// cloned off the decode arena first: Resolve may retain it (cache
+		// keys, upstream questions) past this message's reuse.
+		req := dnsmsg.GetMsg() //ldp:nolint poolreturn — returned by the handler goroutine below on every path
+		if err := req.UnpackBuffer(buf[:n]); err != nil {
+			dnsmsg.PutMsg(req)
 			continue
+		}
+		for i := range req.Question {
+			req.Question[i].Name = req.Question[i].Name.Clone()
 		}
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
+			dnsmsg.PutMsg(req)
 			continue
 		}
 		inflight.Add(1)
 		go func(req *dnsmsg.Msg, addr net.Addr) {
-			defer func() { <-sem; inflight.Add(-1) }()
+			defer func() { dnsmsg.PutMsg(req); <-sem; inflight.Add(-1) }()
 			resp := r.HandleStub(ctx, req)
 			wire, err := resp.Pack()
 			if err != nil {

@@ -45,7 +45,12 @@ func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
 	bp := transport.GetBuf()
 	defer transport.PutBuf(bp)
 	buf := *bp
-	var req dnsmsg.Msg
+	req := dnsmsg.GetMsg()
+	defer dnsmsg.PutMsg(req)
+	// out is the worker's response scratch; HandleQueryWire packs into it
+	// (or serves a cached wire into it) so a warm worker's steady state is
+	// read, decode, lookup, write with zero per-query allocation.
+	out := make([]byte, 0, dnsmsg.DefaultEDNSUDP)
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
@@ -60,14 +65,14 @@ func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
 		}
 		s.stats.bytesIn.Add(uint64(n))
 		s.stats.udpQueries.Add(1)
-		if err := req.Unpack(buf[:n]); err != nil {
+		if err := req.UnpackBuffer(buf[:n]); err != nil {
 			continue // malformed datagrams are dropped, as servers do
 		}
 		src := transport.AddrPortOf(addr).Addr()
 		// Consult RRL before doing any lookup work: a dropped query must
 		// not cost a zone traversal, and a slipped one needs only the
 		// request header to build its truncated-empty reply.
-		var resp *dnsmsg.Msg
+		var wire []byte
 		switch s.cfg.RRL.Check(src) {
 		case Drop:
 			s.stats.rrlDropped.Inc()
@@ -76,14 +81,16 @@ func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
 			// Truncated-empty response: legitimate clients retry over
 			// TCP; reflection targets get no amplification.
 			s.stats.rrlSlipped.Inc()
-			resp = new(dnsmsg.Msg).SetReply(&req)
+			resp := new(dnsmsg.Msg).SetReply(req)
 			resp.Truncated = true
+			if wire, err = resp.Pack(); err != nil {
+				continue
+			}
 		default:
-			resp = s.HandleQuery(src, &req, s.cfg.MaxUDPSize)
-		}
-		wire, err := resp.Pack()
-		if err != nil {
-			continue
+			if wire, err = s.HandleQueryWire(src, req, s.cfg.MaxUDPSize, out[:0]); err != nil {
+				continue
+			}
+			out = wire[:0] // keep any growth for the next query
 		}
 		if _, err := conn.WriteTo(wire, addr); err == nil {
 			s.stats.bytesOut.Add(uint64(len(wire)))
@@ -135,7 +142,9 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 	bp := transport.GetBuf()
 	defer transport.PutBuf(bp)
 	buf := *bp
-	var req dnsmsg.Msg
+	req := dnsmsg.GetMsg()
+	defer dnsmsg.PutMsg(req)
+	var out []byte // response scratch, grown once and reused per-connection
 	for {
 		ep.SetDeadline(time.Now().Add(s.cfg.TCPIdleTimeout)) //ldp:nolint errcheck — a failed deadline surfaces as a Recv error on the next read
 		n, err := ep.Recv(buf)
@@ -144,7 +153,7 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 		}
 		s.stats.bytesIn.Add(uint64(n + 2))
 		queries.Add(1)
-		if err := req.Unpack(buf[:n]); err != nil {
+		if err := req.UnpackBuffer(buf[:n]); err != nil {
 			return
 		}
 		src := ep.RemoteAddr().Addr()
@@ -152,13 +161,12 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 			req.Opcode == dnsmsg.OpcodeQuery {
 			s.stats.queries.Inc()
 			s.stats.axfr.Inc()
-			if err := s.handleAXFR(src, &req, ep); err != nil {
+			if err := s.handleAXFR(src, req, ep); err != nil {
 				return
 			}
 			continue
 		}
-		resp := s.HandleQuery(src, &req, 0)
-		out, err := resp.Pack()
+		out, err = s.HandleQueryWire(src, req, 0, out[:0])
 		if err != nil {
 			return
 		}

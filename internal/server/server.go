@@ -8,6 +8,7 @@ package server
 
 import (
 	"net/netip"
+	"sync"
 	"time"
 
 	"ldplayer/internal/dnsmsg"
@@ -79,9 +80,10 @@ type Config struct {
 
 // Server answers authoritative DNS queries from its views.
 type Server struct {
-	cfg   Config
-	views []*View
-	stats Stats
+	cfg      Config
+	views    []*View
+	stats    Stats
+	anscache ansCache
 }
 
 // New creates a server with no views; add at least one before serving.
@@ -100,6 +102,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{cfg: cfg}
 	s.stats.init(cfg.Obs)
+	s.anscache.init()
 	return s
 }
 
@@ -132,26 +135,191 @@ func (s *Server) viewFor(src netip.Addr) *View {
 
 // HandleQuery is the transport-independent core: it answers one query
 // from a client at src. maxSize caps the response (UDP truncation); pass
-// 0 for stream transports. The returned message is never nil.
+// 0 for stream transports. The returned message is never nil and is
+// owned by the caller indefinitely — this path allocates fresh backing
+// per call and never touches the message pool or the answer cache.
+// Serve loops use HandleQueryWire, the pooled wire-to-wire form.
 func (s *Server) HandleQuery(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg {
-	resp := s.answer(src, req, maxSize)
+	resp := &dnsmsg.Msg{}
+	var ans zone.Answer
+	s.answerInto(resp, &ans, src, req, maxSize)
 	s.stats.countRcode(resp.Rcode)
 	return resp
 }
 
-func (s *Server) answer(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg {
+// ansPool recycles zone-lookup scratch across wire-path queries.
+var ansPool = sync.Pool{New: func() any { return new(zone.Answer) }}
+
+// HandleQueryWire answers one decoded query straight to wire format,
+// packing into out's storage (pass out[:0] of a reused buffer) and
+// returning the packed response. It is the serve-loop hot path: repeat
+// queries are served from the pre-packed answer cache with a header
+// patch (ID + RD bit) and no zone walk or packing at all, and misses
+// run through pooled scratch so a warm server allocates only on cache
+// insertion. The returned slice aliases out (when it had capacity) and
+// is only valid until the next call with the same buffer.
+func (s *Server) HandleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, out []byte) ([]byte, error) {
+	var (
+		v     *View
+		key   ansKey
+		gen   uint64
+		limit int
+	)
+	cacheable := req.Opcode == dnsmsg.OpcodeQuery && len(req.Question) == 1 &&
+		req.Question[0].Class == dnsmsg.ClassINET
+	if cacheable {
+		v = s.viewFor(src)
+	}
+	if v != nil {
+		q := req.Question[0]
+		udpSize, do, hasEDNS := req.EDNS()
+		limit = effectiveLimit(maxSize, udpSize, hasEDNS)
+		key = ansKey{view: v, name: q.Name, qtype: q.Type, do: do, edns: hasEDNS, size: sizeClass(limit)}
+		gen = v.Zones.Generation()
+		if e, ok := s.anscache.get(key, gen); ok {
+			s.stats.cacheHits.Inc()
+			s.stats.queries.Inc()
+			s.stats.countQtype(q.Type)
+			wire := e.full
+			if limit > 0 && len(e.full) > limit {
+				wire = e.trunc
+				s.stats.truncated.Add(1)
+			}
+			out = append(out[:0], wire...)
+			out[0] = byte(req.ID >> 8)
+			out[1] = byte(req.ID)
+			if req.RecursionDesired {
+				out[2] |= 1 // RD is bit 8 of the flags word: bit 0 of byte 2
+			}
+			s.stats.responses.Add(1)
+			s.stats.countRcode(e.rcode)
+			return out, nil
+		}
+		s.stats.cacheMisses.Inc()
+	}
+
+	resp := dnsmsg.GetMsg()
+	defer dnsmsg.PutMsg(resp)
+	ans := ansPool.Get().(*zone.Answer)
+	defer ansPool.Put(ans)
+	// resp's sections will alias ans's backing arrays; detach them before
+	// resp returns to the message pool, or two separately pooled objects
+	// would share storage and race once handed to different workers.
+	defer func() { resp.Answer, resp.Authority, resp.Additional = nil, nil, nil }()
+
+	// Truncation happens at the wire level here (the cache needs the full
+	// form regardless), so answerInto runs uncapped.
+	fromZone := s.answerInto(resp, ans, src, req, 0)
+	s.stats.countRcode(resp.Rcode)
+	out, err := resp.PackBuffer(out[:0])
+	if err != nil {
+		return nil, err
+	}
+
+	insert := fromZone && v != nil && s.anscache.admit(key)
+	needTrunc := limit > 0 && len(out) > limit
+	var truncWire []byte
+	if insert || needTrunc {
+		// Rebuild resp as its truncated-empty form (same mutation
+		// truncateTo applies) and pack that too.
+		resp.Truncated = true
+		resp.Answer = nil
+		resp.Authority = nil
+		kept := resp.Additional[:0]
+		for _, rr := range resp.Additional {
+			if rr.Type == dnsmsg.TypeOPT {
+				kept = append(kept, rr)
+			}
+		}
+		resp.Additional = kept
+		truncWire, err = resp.PackBuffer(make([]byte, 0, 64))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if insert {
+		kc := key
+		kc.name = key.name.Clone() // the request name is arena-backed
+		// Both wires are cloned: out is the caller's buffer, and truncWire
+		// may still be served below, so the normalization (which zeroes
+		// header bytes in place) must not touch either original.
+		e := &ansEntry{
+			full:  normalizeWire(append([]byte(nil), out...)),
+			trunc: normalizeWire(append([]byte(nil), truncWire...)),
+			rcode: resp.Rcode,
+			gen:   gen,
+		}
+		if ev := s.anscache.put(kc, e); ev > 0 {
+			s.stats.cacheEvictions.Add(uint64(ev))
+		}
+	}
+	if needTrunc {
+		out = append(out[:0], truncWire...)
+		s.stats.truncated.Add(1)
+	}
+	return out, nil
+}
+
+// normalizeWire zeroes the request-echoed header bits (ID, RD) so one
+// cached wire serves every requester; the hit path patches them back.
+func normalizeWire(wire []byte) []byte {
+	wire[0] = 0
+	wire[1] = 0
+	wire[2] &^= 1
+	return wire
+}
+
+// effectiveLimit is the truncation byte limit for a response: none for
+// stream transports (maxSize <= 0), the client's advertised EDNS size
+// floored at the classic 512 when present, the server cap otherwise.
+func effectiveLimit(maxSize int, udpSize uint16, hasEDNS bool) int {
+	if maxSize <= 0 {
+		return 0
+	}
+	if hasEDNS {
+		if int(udpSize) > dnsmsg.MaxUDPSize {
+			return int(udpSize)
+		}
+		return dnsmsg.MaxUDPSize
+	}
+	return maxSize
+}
+
+// sizeClass buckets an effective limit for the answer-cache key: exact
+// limits vary per client (EDNS sizes), but responses only care which
+// side of the truncation threshold they land on, and bucketing keeps one
+// entry per behavior class instead of one per advertised size.
+func sizeClass(limit int) uint8 {
+	switch {
+	case limit <= 0:
+		return 0
+	case limit <= dnsmsg.MaxUDPSize:
+		return 1
+	case limit <= 1232: // common EDNS default (DNS flag day 2020)
+		return 2
+	case limit <= dnsmsg.DefaultEDNSUDP:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// answerInto fills resp (via SetReply on req) with the authoritative
+// answer, using ans as section scratch — resp's sections alias ans's
+// backing arrays afterwards. It reports whether the response came from a
+// zone lookup; header-only rejections (NOTIMPL, REFUSED) return false.
+func (s *Server) answerInto(resp *dnsmsg.Msg, ans *zone.Answer, src netip.Addr, req *dnsmsg.Msg, maxSize int) (fromZone bool) {
 	s.stats.queries.Inc()
-	resp := &dnsmsg.Msg{}
 	resp.SetReply(req)
 
 	if req.Opcode != dnsmsg.OpcodeQuery || len(req.Question) != 1 {
 		resp.Rcode = dnsmsg.RcodeNotImpl
-		return resp
+		return false
 	}
 	q := req.Question[0]
 	if q.Class != dnsmsg.ClassINET && q.Class != dnsmsg.ClassANY {
 		resp.Rcode = dnsmsg.RcodeNotImpl
-		return resp
+		return false
 	}
 	s.stats.countQtype(q.Type)
 
@@ -161,16 +329,16 @@ func (s *Server) answer(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Ms
 	if v == nil {
 		resp.Rcode = dnsmsg.RcodeRefused
 		s.stats.refused.Add(1)
-		return resp
+		return false
 	}
 	z, ok := v.Zones.Find(q.Name)
 	if !ok {
 		resp.Rcode = dnsmsg.RcodeRefused
 		s.stats.refused.Add(1)
-		return resp
+		return false
 	}
 
-	ans := z.Query(q.Name, q.Type, do)
+	z.QueryInto(ans, q.Name, q.Type, do)
 	resp.Rcode = ans.Rcode
 	resp.Answer = ans.Answer
 	resp.Authority = ans.Authority
@@ -185,18 +353,11 @@ func (s *Server) answer(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Ms
 		resp.SetEDNS(dnsmsg.DefaultEDNSUDP, do)
 	}
 
-	if maxSize > 0 {
-		limit := maxSize
-		if hasEDNS {
-			limit = int(udpSize)
-			if limit < dnsmsg.MaxUDPSize {
-				limit = dnsmsg.MaxUDPSize
-			}
-		}
+	if limit := effectiveLimit(maxSize, udpSize, hasEDNS); limit > 0 {
 		s.truncateTo(resp, limit)
 	}
 	s.stats.responses.Add(1)
-	return resp
+	return true
 }
 
 // truncateTo enforces a byte limit: if the packed response exceeds it,

@@ -37,6 +37,12 @@ type Stats struct {
 	rrlDropped *obs.Counter
 	rrlSlipped *obs.Counter
 
+	// Pre-packed answer cache economics (HandleQueryWire only; the
+	// Msg-returning HandleQuery path never consults the cache).
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+
 	// Per-rcode and per-qtype breakdowns (the paper's Table 1 query-mix
 	// view, live). Counters are created lazily on first sighting and
 	// cached so the per-query path is one atomic load + one add, with no
@@ -64,6 +70,9 @@ func (s *Stats) init(reg *obs.Registry) {
 	s.tlsConnsTotal = reg.Counter("server.conns.tls_total")
 	s.rrlDropped = reg.Counter("server.rrl.dropped")
 	s.rrlSlipped = reg.Counter("server.rrl.slipped")
+	s.cacheHits = reg.Counter("server.anscache.hits")
+	s.cacheMisses = reg.Counter("server.anscache.misses")
+	s.cacheEvictions = reg.Counter("server.anscache.evictions")
 }
 
 // countRcode bumps the per-rcode counter, creating it on first use.
@@ -99,26 +108,30 @@ type StatsSnapshot struct {
 	TCPConnsOpen, TLSConnsOpen             int64
 	TCPConnsTotal, TLSConnsTotal           uint64
 	RRLDropped, RRLSlipped                 uint64
+	CacheHits, CacheMisses, CacheEvictions uint64
 }
 
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Queries:       s.queries.Value(),
-		Responses:     s.responses.Value(),
-		Refused:       s.refused.Value(),
-		Truncated:     s.truncated.Value(),
-		AXFR:          s.axfr.Value(),
-		BytesIn:       s.bytesIn.Value(),
-		BytesOut:      s.bytesOut.Value(),
-		UDPQueries:    s.udpQueries.Value(),
-		TCPQueries:    s.tcpQueries.Value(),
-		TLSQueries:    s.tlsQueries.Value(),
-		TCPConnsOpen:  int64(s.tcpConnsOpen.Value()),
-		TLSConnsOpen:  int64(s.tlsConnsOpen.Value()),
-		TCPConnsTotal: s.tcpConnsTotal.Value(),
-		TLSConnsTotal: s.tlsConnsTotal.Value(),
-		RRLDropped:    s.rrlDropped.Value(),
-		RRLSlipped:    s.rrlSlipped.Value(),
+		Queries:        s.queries.Value(),
+		Responses:      s.responses.Value(),
+		Refused:        s.refused.Value(),
+		Truncated:      s.truncated.Value(),
+		AXFR:           s.axfr.Value(),
+		BytesIn:        s.bytesIn.Value(),
+		BytesOut:       s.bytesOut.Value(),
+		UDPQueries:     s.udpQueries.Value(),
+		TCPQueries:     s.tcpQueries.Value(),
+		TLSQueries:     s.tlsQueries.Value(),
+		TCPConnsOpen:   int64(s.tcpConnsOpen.Value()),
+		TLSConnsOpen:   int64(s.tlsConnsOpen.Value()),
+		TCPConnsTotal:  s.tcpConnsTotal.Value(),
+		TLSConnsTotal:  s.tlsConnsTotal.Value(),
+		RRLDropped:     s.rrlDropped.Value(),
+		RRLSlipped:     s.rrlSlipped.Value(),
+		CacheHits:      s.cacheHits.Value(),
+		CacheMisses:    s.cacheMisses.Value(),
+		CacheEvictions: s.cacheEvictions.Value(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ldplayer/internal/dnsmsg"
 	"ldplayer/internal/zone"
@@ -15,6 +16,7 @@ import (
 type ZoneSet struct {
 	mu    sync.RWMutex
 	zones map[dnsmsg.Name]*zone.Zone
+	gen   atomic.Uint64 // bumped on every mutation; answer-cache invalidation
 }
 
 // NewZoneSet creates an empty set.
@@ -31,8 +33,15 @@ func (zs *ZoneSet) Add(z *zone.Zone) error {
 		return fmt.Errorf("server: duplicate zone %s", z.Origin)
 	}
 	zs.zones[z.Origin] = z
+	zs.gen.Add(1)
 	return nil
 }
+
+// Generation returns a counter that changes whenever the set's contents
+// change. The answer cache stamps entries with it and treats any entry
+// from an older generation as stale, so AddZone (at any time, including
+// while serving) invalidates every cached response built from this set.
+func (zs *ZoneSet) Generation() uint64 { return zs.gen.Load() }
 
 // Find returns the most specific zone whose origin is an ancestor of (or
 // equals) qname.

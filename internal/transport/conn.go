@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ldplayer/internal/dnsmsg"
 )
 
 // ConnConfig parameterizes a Conn.
@@ -19,6 +21,13 @@ type ConnConfig struct {
 	// query→response latency, and the raw message (valid only during the
 	// call — the buffer is pooled).
 	OnResponse func(token any, rtt time.Duration, wire []byte)
+	// OnResponseMsg, when set, additionally delivers the matched response
+	// decoded through the read loop's pooled message — m is valid only
+	// during the call and must not be retained (Detach first to keep
+	// any part of it). A matched response that fails to decode is
+	// delivered with m == nil so malformed answers stay countable.
+	// When both callbacks are set, OnResponse runs first.
+	OnResponseMsg func(token any, rtt time.Duration, m *dnsmsg.Msg)
 	// OnDrop reports an in-flight query that can no longer be answered:
 	// its endpoint closed (idle timeout, peer close, error) or the Conn
 	// itself was closed. Every token passed to Send is handed to exactly
@@ -186,6 +195,11 @@ func (c *Conn) readLoop(ep Endpoint) {
 	bp := GetBuf()
 	defer PutBuf(bp)
 	buf := *bp
+	var m *dnsmsg.Msg
+	if c.cfg.OnResponseMsg != nil {
+		m = dnsmsg.GetMsg()
+		defer dnsmsg.PutMsg(m)
+	}
 	for {
 		n, err := ep.Recv(buf)
 		if err != nil {
@@ -213,8 +227,16 @@ func (c *Conn) readLoop(ep Endpoint) {
 		c.mu.Unlock()
 		if ok {
 			obsConnResponses.Inc()
+			rtt := time.Since(p.sentAt)
 			if c.cfg.OnResponse != nil {
-				c.cfg.OnResponse(p.token, time.Since(p.sentAt), buf[:n])
+				c.cfg.OnResponse(p.token, rtt, buf[:n])
+			}
+			if c.cfg.OnResponseMsg != nil {
+				if err := m.UnpackBuffer(buf[:n]); err != nil {
+					c.cfg.OnResponseMsg(p.token, rtt, nil)
+				} else {
+					c.cfg.OnResponseMsg(p.token, rtt, m)
+				}
 			}
 		}
 	}

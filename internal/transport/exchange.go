@@ -27,42 +27,75 @@ type Exchanger struct {
 
 var defaultDialer = &NetDialer{}
 
-// Exchange sends q to server and returns the response.
+// Exchange sends q to server and returns the response, decoded through
+// the reference codec (value-form rdata, freshly allocated, retainable
+// forever). q is only read, so one query message may feed concurrent
+// Exchanges.
 func (x *Exchanger) Exchange(ctx context.Context, server netip.AddrPort, q *dnsmsg.Msg) (*dnsmsg.Msg, error) {
-	obsExchangesAll.Inc()
-	obsExchanges[x.Proto].Inc()
-	start := time.Now()
-	wire, err := q.Pack()
-	if err != nil {
-		obsExchangeErrs.Inc()
+	resp := &dnsmsg.Msg{}
+	if err := x.exchangeInto(ctx, server, q, resp, false); err != nil {
 		return nil, err
 	}
-	resp, err := x.round(ctx, x.Proto, server, q.ID, wire)
-	if err != nil {
-		obsExchangeErrs.Inc()
-		return nil, err
-	}
-	if x.Proto == UDP && resp.Truncated && !x.DisableTCPFallback {
-		obsTCFallbacks.Inc()
-		resp, err = x.round(ctx, TCP, server, q.ID, wire)
-		if err != nil {
-			obsExchangeErrs.Inc()
-			return nil, err
-		}
-	}
-	obsExchangeRTT.ObserveDuration(time.Since(start))
 	return resp, nil
 }
 
-// round runs one attempt over one protocol.
-func (x *Exchanger) round(ctx context.Context, proto Proto, server netip.AddrPort, id uint16, wire []byte) (*dnsmsg.Msg, error) {
+// ExchangeInto is Exchange for recycled messages: the response is
+// decoded into resp (Reset first, typically a pooled message from
+// dnsmsg.GetMsg) and q is packed through its own arena, so a warm
+// exchange loop performs no per-call codec allocation. Both q and resp
+// must be exclusively owned by the caller for the duration of the call —
+// use Exchange when q is shared. resp is arena-decoded: rdata come back
+// in pointer form (*dnsmsg.A etc.), so callers that type-assert rdata
+// concretely belong on Exchange instead.
+func (x *Exchanger) ExchangeInto(ctx context.Context, server netip.AddrPort, q, resp *dnsmsg.Msg) error {
+	return x.exchangeInto(ctx, server, q, resp, true)
+}
+
+// exchangeInto is the shared engine; pooled selects the codec on both
+// sides: arena-reusing PackBuffer + UnpackBuffer, or the read-only
+// reference AppendPack + Unpack.
+func (x *Exchanger) exchangeInto(ctx context.Context, server netip.AddrPort, q, resp *dnsmsg.Msg, pooled bool) error {
+	obsExchangesAll.Inc()
+	obsExchanges[x.Proto].Inc()
+	start := time.Now()
+	bp := GetBuf()
+	defer PutBuf(bp)
+	var wire []byte
+	var err error
+	if pooled {
+		wire, err = q.PackBuffer((*bp)[:0])
+	} else {
+		wire, err = q.AppendPack((*bp)[:0])
+	}
+	if err != nil {
+		obsExchangeErrs.Inc()
+		return err
+	}
+	if err := x.roundInto(ctx, x.Proto, server, q.ID, wire, resp, pooled); err != nil {
+		obsExchangeErrs.Inc()
+		return err
+	}
+	if x.Proto == UDP && resp.Truncated && !x.DisableTCPFallback {
+		obsTCFallbacks.Inc()
+		if err := x.roundInto(ctx, TCP, server, q.ID, wire, resp, pooled); err != nil {
+			obsExchangeErrs.Inc()
+			return err
+		}
+	}
+	obsExchangeRTT.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// roundInto runs one attempt over one protocol, decoding the matched
+// response into resp (arena codec when pooled, reference otherwise).
+func (x *Exchanger) roundInto(ctx context.Context, proto Proto, server netip.AddrPort, id uint16, wire []byte, resp *dnsmsg.Msg, pooled bool) error {
 	d := x.Dialer
 	if d == nil {
 		d = defaultDialer
 	}
 	ep, err := d.Dial(ctx, proto, server)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer ep.Close()
 
@@ -77,7 +110,7 @@ func (x *Exchanger) round(ctx context.Context, proto Proto, server netip.AddrPor
 	ep.SetDeadline(deadline) //ldp:nolint errcheck — a failed deadline surfaces as a Send/Recv error immediately below
 
 	if err := ep.Send(wire); err != nil {
-		return nil, fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
+		return fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
 	}
 	bp := GetBuf()
 	defer PutBuf(bp)
@@ -85,21 +118,26 @@ func (x *Exchanger) round(ctx context.Context, proto Proto, server netip.AddrPor
 	for {
 		n, err := ep.Recv(buf)
 		if err != nil {
-			return nil, fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
+			return fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
 		}
-		var m dnsmsg.Msg
-		if err := m.Unpack(buf[:n]); err != nil {
+		var uerr error
+		if pooled {
+			uerr = resp.UnpackBuffer(buf[:n])
+		} else {
+			uerr = resp.Unpack(buf[:n])
+		}
+		if uerr != nil {
 			if proto == UDP {
 				continue // not ours; keep waiting until the deadline
 			}
-			return nil, fmt.Errorf("transport: %s exchange with %s: %w", proto, server, err)
+			return fmt.Errorf("transport: %s exchange with %s: %w", proto, server, uerr)
 		}
-		if m.ID != id {
+		if resp.ID != id {
 			if proto == UDP {
 				continue
 			}
-			return nil, fmt.Errorf("transport: %s exchange with %s: response ID mismatch", proto, server)
+			return fmt.Errorf("transport: %s exchange with %s: response ID mismatch", proto, server)
 		}
-		return &m, nil
+		return nil
 	}
 }

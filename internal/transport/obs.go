@@ -1,6 +1,10 @@
 package transport
 
-import "ldplayer/internal/obs"
+import (
+	"ldplayer/internal/obs"
+
+	"ldplayer/internal/dnsmsg"
+)
 
 // Live instruments for the shared transport stack, in the process-wide
 // obs.Default registry ("transport." namespace). The transport layer is
@@ -38,4 +42,13 @@ var (
 	// 1 - allocs/gets.
 	obsBufGets   = obs.Default.Counter("transport.bufpool.gets")
 	obsBufAllocs = obs.Default.Counter("transport.bufpool.allocs")
+
+	// Message pool economics, exported on dnsmsg's behalf: dnsmsg sits
+	// below obs in the module order and keeps its own atomics, so the
+	// transport layer (the lowest package importing both) bridges them
+	// as pull-style counters. Miss rate is news/gets; gets-puts is the
+	// number of messages currently checked out (or leaked).
+	_ = obs.Default.CounterFunc("dnsmsg.msgpool.gets", func() uint64 { return dnsmsg.PoolStats().Gets })
+	_ = obs.Default.CounterFunc("dnsmsg.msgpool.puts", func() uint64 { return dnsmsg.PoolStats().Puts })
+	_ = obs.Default.CounterFunc("dnsmsg.msgpool.news", func() uint64 { return dnsmsg.PoolStats().News })
 )

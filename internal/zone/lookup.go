@@ -44,15 +44,34 @@ type Answer struct {
 
 const maxCNAMEChain = 8
 
+// glueTypes are the address types chased for referral/NS glue.
+var glueTypes = [2]dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA}
+
 // Query runs the RFC 1034 §4.3.2 authoritative algorithm for (qname,
 // qtype). When do is true, DNSSEC records (RRSIG, DS, NSEC) accompany
 // the ordinary data. The caller owns turning this into a dnsmsg.Msg.
 func (z *Zone) Query(qname dnsmsg.Name, qtype dnsmsg.Type, do bool) *Answer {
 	a := &Answer{}
+	z.QueryInto(a, qname, qtype, do)
+	return a
+}
+
+// QueryInto is Query writing into a caller-owned Answer, whose section
+// slices are truncated and reused — the allocation-free form for serve
+// loops that recycle one Answer per worker. The filled sections alias
+// a's backing arrays (and the zone's long-lived rrsets), so the caller
+// must finish with the result before the next QueryInto on the same a.
+func (z *Zone) QueryInto(a *Answer, qname dnsmsg.Name, qtype dnsmsg.Type, do bool) {
+	a.Result = ResultAnswer
+	a.Rcode = dnsmsg.RcodeSuccess
+	a.Answer = a.Answer[:0]
+	a.Authority = a.Authority[:0]
+	a.Additional = a.Additional[:0]
+
 	if !qname.IsSubdomainOf(z.Origin) {
 		a.Result = ResultNotZone
 		a.Rcode = dnsmsg.RcodeRefused
-		return a
+		return
 	}
 
 	// Delegation check: walk from just below the apex toward qname; the
@@ -62,14 +81,13 @@ func (z *Zone) Query(qname dnsmsg.Name, qtype dnsmsg.Type, do bool) *Answer {
 		// answer it authoritatively instead of referring.
 		if qtype == dnsmsg.TypeDS && qname == cut {
 			z.answerAt(a, qname, qname, qtype, do, 0)
-			return a
+			return
 		}
 		z.referral(a, cut, do)
-		return a
+		return
 	}
 
 	z.answerAt(a, qname, qname, qtype, do, 0)
-	return a
 }
 
 // findCut locates the topmost delegation on the path from the apex to
@@ -77,26 +95,23 @@ func (z *Zone) Query(qname dnsmsg.Name, qtype dnsmsg.Type, do bool) *Answer {
 // query is not for the cut's own DS/NS — handled by the caller via the
 // convention that queries for the cut name still produce a referral,
 // which is what a parent-side authoritative server does for everything
-// except DS; DS-at-cut is served authoritatively below).
+// except DS; DS-at-cut is served authoritatively below). Walking up
+// from qname and keeping the last delegation seen yields the topmost
+// cut without building the path.
 func (z *Zone) findCut(qname dnsmsg.Name) (dnsmsg.Name, bool) {
-	// Build the chain of names from below-apex down to qname.
-	var chain []dnsmsg.Name
+	var cut dnsmsg.Name
+	found := false
 	for n := qname; n != z.Origin; n = n.Parent() {
-		chain = append(chain, n)
+		if node := z.nodes[n]; node != nil {
+			if _, hasNS := node.sets[dnsmsg.TypeNS]; hasNS {
+				cut, found = n, true
+			}
+		}
 		if n.IsRoot() {
 			break
 		}
 	}
-	// chain is [qname ... child-of-origin]; scan top-down.
-	for i := len(chain) - 1; i >= 0; i-- {
-		n := chain[i]
-		if node := z.nodes[n]; node != nil {
-			if _, hasNS := node.sets[dnsmsg.TypeNS]; hasNS {
-				return n, true
-			}
-		}
-	}
-	return "", false
+	return cut, found
 }
 
 // referral fills a with the delegation NS set, DS (when signed and do),
@@ -105,18 +120,18 @@ func (z *Zone) referral(a *Answer, cut dnsmsg.Name, do bool) {
 	a.Result = ResultReferral
 	a.Rcode = dnsmsg.RcodeSuccess
 	nsSet, _ := z.Lookup(cut, dnsmsg.TypeNS)
-	a.Authority = append(a.Authority, nsSet.RRs()...)
+	a.Authority = nsSet.AppendRRs(a.Authority)
 	if do {
 		if ds, ok := z.Lookup(cut, dnsmsg.TypeDS); ok {
-			a.Authority = append(a.Authority, ds.RRs()...)
+			a.Authority = ds.AppendRRs(a.Authority)
 			if sig, ok := z.Sigs(cut, dnsmsg.TypeDS); ok {
-				a.Authority = append(a.Authority, sig.RRs()...)
+				a.Authority = sig.AppendRRs(a.Authority)
 			}
 		} else if nsec, ok := z.Lookup(cut, dnsmsg.TypeNSEC); ok {
 			// Unsigned delegation in a signed zone: prove DS absence.
-			a.Authority = append(a.Authority, nsec.RRs()...)
+			a.Authority = nsec.AppendRRs(a.Authority)
 			if sig, ok := z.Sigs(cut, dnsmsg.TypeNSEC); ok {
-				a.Authority = append(a.Authority, sig.RRs()...)
+				a.Authority = sig.AppendRRs(a.Authority)
 			}
 		}
 	}
@@ -125,9 +140,9 @@ func (z *Zone) referral(a *Answer, cut dnsmsg.Name, do bool) {
 		if !ok {
 			continue
 		}
-		for _, t := range []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA} {
+		for _, t := range glueTypes {
 			if glue, ok := z.Lookup(ns.Host, t); ok {
-				a.Additional = append(a.Additional, glue.RRs()...)
+				a.Additional = glue.AppendRRs(a.Additional)
 			}
 		}
 	}
@@ -149,10 +164,10 @@ func (z *Zone) answerAt(a *Answer, qname, owner dnsmsg.Name, qtype dnsmsg.Type, 
 
 	// CNAME takes over unless the query asks for CNAME (or ANY).
 	if cname, ok := n.sets[dnsmsg.TypeCNAME]; ok && qtype != dnsmsg.TypeCNAME && qtype != dnsmsg.TypeANY {
-		a.Answer = append(a.Answer, cname.RRs()...)
+		a.Answer = cname.AppendRRs(a.Answer)
 		if do {
 			if sig, ok := z.Sigs(owner, dnsmsg.TypeCNAME); ok {
-				a.Answer = append(a.Answer, sig.RRs()...)
+				a.Answer = sig.AppendRRs(a.Answer)
 			}
 		}
 		a.Result = ResultAnswer
@@ -175,10 +190,10 @@ func (z *Zone) answerAt(a *Answer, qname, owner dnsmsg.Name, qtype dnsmsg.Type, 
 
 	if qtype == dnsmsg.TypeANY {
 		for _, s := range n.sets {
-			a.Answer = append(a.Answer, s.RRs()...)
+			a.Answer = s.AppendRRs(a.Answer)
 			if do {
 				if sig, ok := z.Sigs(owner, s.Type); ok {
-					a.Answer = append(a.Answer, sig.RRs()...)
+					a.Answer = sig.AppendRRs(a.Answer)
 				}
 			}
 		}
@@ -199,15 +214,17 @@ func (z *Zone) answerAt(a *Answer, qname, owner dnsmsg.Name, qtype dnsmsg.Type, 
 				a.Answer = append(a.Answer, rr)
 			}
 		} else {
-			a.Answer = append(a.Answer, s.RRs()...)
+			a.Answer = s.AppendRRs(a.Answer)
 		}
 		if do {
 			if sig, ok := z.Sigs(owner, qtype); ok {
-				for _, rr := range sig.RRs() {
-					if owner != qname {
+				if owner != qname {
+					for _, rr := range sig.RRs() {
 						rr.Name = qname
+						a.Answer = append(a.Answer, rr)
 					}
-					a.Answer = append(a.Answer, rr)
+				} else {
+					a.Answer = sig.AppendRRs(a.Answer)
 				}
 			}
 		}
@@ -217,9 +234,9 @@ func (z *Zone) answerAt(a *Answer, qname, owner dnsmsg.Name, qtype dnsmsg.Type, 
 		if qtype == dnsmsg.TypeNS {
 			for _, d := range s.Data {
 				if ns, ok := d.(dnsmsg.NS); ok {
-					for _, t := range []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA} {
+					for _, t := range glueTypes {
 						if glue, ok := z.Lookup(ns.Host, t); ok {
-							a.Additional = append(a.Additional, glue.RRs()...)
+							a.Additional = glue.AppendRRs(a.Additional)
 						}
 					}
 				}
@@ -252,9 +269,9 @@ func (z *Zone) tryWildcard(a *Answer, qname dnsmsg.Name, qtype dnsmsg.Type, do b
 		if do && a.Result == ResultAnswer {
 			// A wildcard answer also proves no closer match exists.
 			if nsec, ok := z.Lookup(enc, dnsmsg.TypeNSEC); ok {
-				a.Authority = append(a.Authority, nsec.RRs()...)
+				a.Authority = nsec.AppendRRs(a.Authority)
 				if sig, ok := z.Sigs(enc, dnsmsg.TypeNSEC); ok {
-					a.Authority = append(a.Authority, sig.RRs()...)
+					a.Authority = sig.AppendRRs(a.Authority)
 				}
 			}
 		}
@@ -280,9 +297,9 @@ func (z *Zone) nxdomain(a *Answer, encloser dnsmsg.Name, do bool) {
 		// full RFC 4035 pair; response sizing (what the experiments
 		// measure) is preserved.
 		if nsec, ok := z.Lookup(encloser, dnsmsg.TypeNSEC); ok {
-			a.Authority = append(a.Authority, nsec.RRs()...)
+			a.Authority = nsec.AppendRRs(a.Authority)
 			if sig, ok := z.Sigs(encloser, dnsmsg.TypeNSEC); ok {
-				a.Authority = append(a.Authority, sig.RRs()...)
+				a.Authority = sig.AppendRRs(a.Authority)
 			}
 		}
 	}
@@ -293,10 +310,10 @@ func (z *Zone) negativeSOA(a *Answer, do bool) {
 	if soa == nil {
 		return
 	}
-	a.Authority = append(a.Authority, soa.RRs()...)
+	a.Authority = soa.AppendRRs(a.Authority)
 	if do {
 		if sig, ok := z.Sigs(z.Origin, dnsmsg.TypeSOA); ok {
-			a.Authority = append(a.Authority, sig.RRs()...)
+			a.Authority = sig.AppendRRs(a.Authority)
 		}
 	}
 }

@@ -27,11 +27,17 @@ type RRSet struct {
 
 // RRs expands the set into individual resource records.
 func (s *RRSet) RRs() []dnsmsg.RR {
-	out := make([]dnsmsg.RR, len(s.Data))
-	for i, d := range s.Data {
-		out[i] = dnsmsg.RR{Name: s.Name, Type: s.Type, Class: s.Class, TTL: s.TTL, Data: d}
+	return s.AppendRRs(make([]dnsmsg.RR, 0, len(s.Data)))
+}
+
+// AppendRRs appends the set's records to dst and returns it — the
+// allocation-free form of RRs for callers assembling answers into
+// reused slices (the serve hot path).
+func (s *RRSet) AppendRRs(dst []dnsmsg.RR) []dnsmsg.RR {
+	for _, d := range s.Data {
+		dst = append(dst, dnsmsg.RR{Name: s.Name, Type: s.Type, Class: s.Class, TTL: s.TTL, Data: d})
 	}
-	return out
+	return dst
 }
 
 // node holds all rrsets at one owner name plus the RRSIGs covering them.
