@@ -28,6 +28,10 @@ type result struct {
 	nsPerOp     float64
 	allocsPerOp float64
 	hasAllocs   bool
+	// qps/core as reported by the serving benchmarks via b.ReportMetric;
+	// throughput is hardware-bound, so like ns/op it is report-only.
+	qpsPerCore float64
+	hasQPS     bool
 }
 
 // parseBench reads `go test -bench` output, keying each benchmark as
@@ -75,6 +79,9 @@ func parseBench(path string) (map[string]result, error) {
 			case "allocs/op":
 				r.allocsPerOp = v
 				r.hasAllocs = true
+			case "qps/core":
+				r.qpsPerCore = v
+				r.hasQPS = true
 			}
 		}
 		out[pkg+"."+name] = r
@@ -146,9 +153,14 @@ func main() {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Printf("%s %-60s allocs/op %8.1f -> %8.1f (%+6.1f%%)   ns/op %10.0f -> %10.0f (%+6.1f%%, informational)\n",
+		fmt.Printf("%s %-60s allocs/op %8.1f -> %8.1f (%+6.1f%%)   ns/op %10.0f -> %10.0f (%+6.1f%%, informational)",
 			status, k, b.allocsPerOp, n.allocsPerOp, 100*allocsDelta,
 			b.nsPerOp, n.nsPerOp, 100*pct(b.nsPerOp, n.nsPerOp))
+		if b.hasQPS && n.hasQPS {
+			fmt.Printf("   qps/core %9.0f -> %9.0f (%+6.1f%%, informational)",
+				b.qpsPerCore, n.qpsPerCore, 100*pct(b.qpsPerCore, n.qpsPerCore))
+		}
+		fmt.Println()
 	}
 	for k := range now {
 		if _, ok := base[k]; !ok && (sel == nil || sel.MatchString(k)) {

@@ -1,0 +1,193 @@
+// Command ldp-loadgen drives a DNS server with UDP query load and
+// reports achieved qps, qps per core and latency percentiles — the
+// client side of the paper's throughput experiments (Figs 9, 13),
+// pointed at ldp-server (or any authoritative server).
+//
+// Closed-loop (default) measures the server's service rate: each of
+// -conc workers keeps one query outstanding. Open-loop (-qps) sends at
+// a fixed aggregate rate whether or not responses return — the paper's
+// replay discipline.
+//
+// Usage:
+//
+//	ldp-loadgen -target 127.0.0.1:5300 -conc 8 -duration 10s
+//	ldp-loadgen -target 127.0.0.1:5300 -qps 50000 -duration 30s
+//	ldp-loadgen -target 127.0.0.1:5300 -workload broot -count 100000
+//	ldp-loadgen -target 127.0.0.1:5300 -trace queries.txt -count 10000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/loadgen"
+	"ldplayer/internal/obs"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+)
+
+type options struct {
+	target   string
+	qps      float64
+	conc     int
+	duration time.Duration
+	count    int
+	timeout  time.Duration
+	workload string // syn | broot | rec
+	trace    string // trace file overriding -workload
+	domain   string
+	debug    string
+	reg      *obs.Registry
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldp-loadgen: ")
+
+	var opts options
+	flag.StringVar(&opts.target, "target", "127.0.0.1:5300", "server UDP address")
+	flag.Float64Var(&opts.qps, "qps", 0, "open-loop aggregate send rate (0 = closed loop)")
+	flag.IntVar(&opts.conc, "conc", runtime.GOMAXPROCS(0), "concurrent workers, one socket each")
+	flag.DurationVar(&opts.duration, "duration", 0, "stop after this long (0 = until -count)")
+	flag.IntVar(&opts.count, "count", 0, "stop after this many queries (0 = until -duration)")
+	flag.DurationVar(&opts.timeout, "timeout", 2*time.Second, "per-query response timeout")
+	flag.StringVar(&opts.workload, "workload", "syn", "query workload: syn, broot or rec")
+	flag.StringVar(&opts.trace, "trace", "", "read queries from a trace file instead of -workload (text or binary)")
+	flag.StringVar(&opts.domain, "domain", "example.com.", "zone the syn workload queries under")
+	flag.StringVar(&opts.debug, "debug-addr", "", "HTTP debug endpoint with /vars (empty disables)")
+	flag.Parse()
+	opts.reg = obs.Default
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, opts, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes one load run and writes the human report to out.
+func run(ctx context.Context, opts options, out io.Writer) error {
+	if opts.duration <= 0 && opts.count <= 0 {
+		return fmt.Errorf("need -duration or -count")
+	}
+	target, err := netip.ParseAddrPort(opts.target)
+	if err != nil {
+		return fmt.Errorf("-target: %w", err)
+	}
+	if opts.reg == nil {
+		opts.reg = obs.NewRegistry()
+	}
+	if opts.debug != "" {
+		_, addr, err := obs.ServeDebug(opts.debug, opts.reg)
+		if err != nil {
+			return fmt.Errorf("debug listen: %w", err)
+		}
+		fmt.Fprintf(out, "debug http on %s (/vars)\n", addr) //ldp:nolint errcheck — human report; a failed stdout write loses nothing measured
+	}
+	queries, err := buildQueries(opts)
+	if err != nil {
+		return err
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Target:      target,
+		QPS:         opts.qps,
+		Concurrency: opts.conc,
+		Duration:    opts.duration,
+		Total:       opts.count,
+		Timeout:     opts.timeout,
+		Queries:     queries,
+		Obs:         opts.reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	//ldp:nolint errcheck — human report; a failed stdout write loses nothing measured
+	fmt.Fprintf(out, "sent %d, received %d, timeouts %d in %v\n",
+		rep.Sent, rep.Received, rep.Timeouts, rep.Elapsed.Round(time.Millisecond))
+	//ldp:nolint errcheck — human report; a failed stdout write loses nothing measured
+	fmt.Fprintf(out, "throughput: %.0f qps (%.0f qps/core over %d cores)\n",
+		rep.QPS, rep.QPSPerCore, runtime.GOMAXPROCS(0))
+	//ldp:nolint errcheck — human report; a failed stdout write loses nothing measured
+	fmt.Fprintf(out, "latency: p50 %s  p90 %s  p99 %s\n",
+		fmtSecs(rep.Latency.Quantile(0.50)),
+		fmtSecs(rep.Latency.Quantile(0.90)),
+		fmtSecs(rep.Latency.Quantile(0.99)))
+	return nil
+}
+
+// buildQueries assembles the query wires from a trace file or one of
+// the workload models. The set is bounded — queries cycle during long
+// runs — so model durations here size variety, not run length.
+func buildQueries(opts options) ([][]byte, error) {
+	if opts.trace != "" {
+		f, err := os.Open(opts.trace)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close() //ldp:nolint errcheck — read-only file; Close carries no data-loss signal
+		var rd trace.Reader
+		if filepath.Ext(opts.trace) == ".txt" {
+			rd = trace.NewTextReader(f)
+		} else {
+			rd = trace.NewBinaryReader(f)
+		}
+		tr, err := trace.ReadAll(rd)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", opts.trace, err)
+		}
+		qs := loadgen.QueryWires(tr)
+		if len(qs) == 0 {
+			return nil, fmt.Errorf("%s: no UDP queries in trace", opts.trace)
+		}
+		return qs, nil
+	}
+
+	var tr *trace.Trace
+	switch opts.workload {
+	case "syn":
+		domain, err := dnsmsg.ParseName(opts.domain)
+		if err != nil {
+			return nil, fmt.Errorf("-domain: %w", err)
+		}
+		tr = workload.Synthetic(workload.SyntheticConfig{
+			InterArrival: time.Millisecond,
+			Duration:     10 * time.Second, // 10k distinct names to cycle
+			Domain:       domain,
+		})
+	case "broot":
+		tr = workload.BRootModel(workload.BRootConfig{
+			Duration:   10 * time.Second,
+			MedianRate: 1000,
+			Clients:    1000,
+		})
+	case "rec":
+		tr = workload.RecModel(workload.RecConfig{
+			Duration: 10 * time.Second,
+			Queries:  10000,
+		})
+	default:
+		return nil, fmt.Errorf("unknown -workload %q (want syn, broot or rec)", opts.workload)
+	}
+	qs := loadgen.QueryWires(tr)
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("workload %q generated no UDP queries", opts.workload)
+	}
+	return qs, nil
+}
+
+// fmtSecs renders a latency quantile with sub-millisecond resolution.
+func fmtSecs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"ldplayer/internal/obs"
+	"ldplayer/internal/server"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
+	"ldplayer/internal/workload"
+	"ldplayer/internal/zone"
+)
+
+const testZone = `
+$ORIGIN example.com.
+$TTL 3600
+@ IN SOA ns1 admin 1 7200 3600 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.53
+www IN A 192.0.2.80
+* IN A 192.0.2.99
+`
+
+// startServer boots a sharded server on loopback for the smoke tests.
+func startServer(t *testing.T) string {
+	t.Helper()
+	z, err := zone.ParseString(testZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{UDPWorkers: 2})
+	if err := srv.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	conns, addr, err := transport.ListenUDPReusePort("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeUDPShards(ctx, conns) //ldp:nolint errcheck — test server; exit races the drain below
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	return addr.String()
+}
+
+var reportRe = regexp.MustCompile(`sent (\d+), received (\d+), timeouts (\d+)`)
+
+// TestLoadgenE2E: closed-loop against a live sharded server; everything
+// sent must come back answered.
+func TestLoadgenE2E(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	err := run(context.Background(), options{
+		target:   addr,
+		conc:     2,
+		count:    100,
+		timeout:  5 * time.Second,
+		workload: "syn",
+		domain:   "example.com.",
+		reg:      obs.NewRegistry(),
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	m := reportRe.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("report line missing:\n%s", out.String())
+	}
+	sent, _ := strconv.Atoi(m[1])
+	received, _ := strconv.Atoi(m[2])
+	if sent != 100 {
+		t.Fatalf("sent = %d, want 100:\n%s", sent, out.String())
+	}
+	if received != sent {
+		t.Fatalf("answered %d of %d:\n%s", received, sent, out.String())
+	}
+	for _, want := range []string{"qps/core", "p50", "p99"} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLoadgenTraceInput drives queries from a trace file on disk.
+func TestLoadgenTraceInput(t *testing.T) {
+	addr := startServer(t)
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: time.Millisecond,
+		Duration:     20 * time.Millisecond,
+		Domain:       "example.com.",
+	})
+	path := filepath.Join(t.TempDir(), "queries.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := trace.NewTextWriter(f)
+	if err := trace.WriteAll(tw, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = run(context.Background(), options{
+		target:  addr,
+		conc:    1,
+		count:   20,
+		timeout: 5 * time.Second,
+		trace:   path,
+		reg:     obs.NewRegistry(),
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	m := reportRe.FindStringSubmatch(out.String())
+	if m == nil || m[1] != "20" || m[2] != "20" {
+		t.Fatalf("want 20 sent and received:\n%s", out.String())
+	}
+}
+
+// TestLoadgenValidation: option errors surface as errors, not exits.
+func TestLoadgenValidation(t *testing.T) {
+	cases := []options{
+		{target: "127.0.0.1:5300"},                                   // no stop condition
+		{target: "not-an-addr", count: 1},                            // bad target
+		{target: "127.0.0.1:5300", count: 1, workload: "nope"},       // bad workload
+		{target: "127.0.0.1:5300", count: 1, trace: "/no/such/file"}, // bad trace
+	}
+	for i, opts := range cases {
+		if err := run(context.Background(), opts, &bytes.Buffer{}); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}

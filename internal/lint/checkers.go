@@ -12,5 +12,6 @@ func DefaultCheckers(modulePath string) []Checker {
 		ErrCheck{ModulePath: modulePath},
 		MutexBlock{ModulePath: modulePath},
 		PoolReturn{ModulePath: modulePath},
+		ShardConfined{ModulePath: modulePath},
 	}
 }

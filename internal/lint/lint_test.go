@@ -76,6 +76,7 @@ func TestGolden(t *testing.T) {
 		{"errcheck", mod + "/internal/errtest", ErrCheck{ModulePath: mod}},
 		{"mutexblock", mod + "/internal/mutextest", MutexBlock{ModulePath: mod}},
 		{"poolreturn", mod + "/internal/pooltest", PoolReturn{ModulePath: mod}},
+		{"shardconfined", mod + "/internal/shardtest", ShardConfined{ModulePath: mod}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -155,7 +156,7 @@ func TestDefaultCheckers(t *testing.T) {
 			t.Errorf("checker %q has no doc", name)
 		}
 	}
-	for _, name := range []string{"transportonly", "simclock", "obsname", "statsatomic", "errcheck", "mutexblock", "poolreturn"} {
+	for _, name := range []string{"transportonly", "simclock", "obsname", "statsatomic", "errcheck", "mutexblock", "poolreturn", "shardconfined"} {
 		if !seen[name] {
 			t.Errorf("DefaultCheckers missing %q", name)
 		}

@@ -25,7 +25,7 @@ func (ObsName) Doc() string {
 	return "obs.Registry metric names are literal lowercase dot-separated constants"
 }
 
-var obsGetterNames = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+var obsGetterNames = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "ShardedCounter": true}
 
 var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
 

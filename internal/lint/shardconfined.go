@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShardConfined enforces the sharded-serving ownership rule introduced
+// with per-shard UDP pipelines: a shard struct (any struct type whose
+// name contains "shard") is single-goroutine state — its fields may only
+// be touched by the type's own methods and by constructor functions that
+// return it. Two escapes are flagged:
+//
+//   - a field access in any other function: some unrelated code is
+//     reaching into a shard's private state;
+//   - a field access inside a `go` function literal, even within a shard
+//     method: the access runs on a second goroutine, which is exactly
+//     the data race the shard design removes.
+//
+// Fields whose types are inherently cross-goroutine — channels,
+// sync/sync-atomic types, and obs instruments (every write is one atomic
+// op) — are exempt; they are how a shard is *supposed* to communicate.
+// A deliberate exception (e.g. a shutdown path that closes a shard's
+// socket from outside) carries //ldp:nolint shardconfined with a
+// justification.
+type ShardConfined struct {
+	ModulePath string
+}
+
+func (ShardConfined) Name() string { return "shardconfined" }
+func (ShardConfined) Doc() string {
+	return "fields of shard structs are touched only by their own methods/constructors, never from spawned goroutines"
+}
+
+// confinedStruct is one candidate struct plus its exempt field names.
+type confinedStruct struct {
+	exempt map[string]bool
+}
+
+// confinementExempt reports whether a field of this type is safe to
+// touch from any goroutine.
+func confinementExempt(t types.Type, obsPath string) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if _, ok := t.(*types.Chan); ok {
+		return true
+	}
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() {
+	case "sync", "sync/atomic", obsPath:
+		return true
+	}
+	return false
+}
+
+func (c ShardConfined) Check(p *Package) []Diagnostic {
+	obsPath := c.ModulePath + "/internal/obs"
+
+	cands := map[*types.TypeName]*confinedStruct{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok || !strings.Contains(strings.ToLower(spec.Name.Name), "shard") {
+				return true
+			}
+			tn, ok := p.Info.Defs[spec.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			cand := &confinedStruct{exempt: map[string]bool{}}
+			for _, field := range st.Fields.List {
+				tv, ok := p.Info.Types[field.Type]
+				if !ok {
+					continue
+				}
+				if confinementExempt(tv.Type, obsPath) {
+					for _, id := range field.Names {
+						cand.exempt[id.Name] = true
+					}
+				}
+			}
+			cands[tn] = cand
+			return true
+		})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fd.Body == nil {
+					continue
+				}
+				c.walk(p, fd.Body, c.allowedFor(p, fd, cands), cands, false, &out)
+				continue
+			}
+			// Package-level initializers never own a shard.
+			c.walk(p, decl, nil, cands, false, &out)
+		}
+	}
+	return out
+}
+
+// allowedFor computes which candidates fd may legitimately touch: the
+// receiver's type (a shard method) and any candidate among the result
+// types (a constructor handing ownership to the caller).
+func (ShardConfined) allowedFor(p *Package, fd *ast.FuncDecl, cands map[*types.TypeName]*confinedStruct) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	note := func(e ast.Expr) {
+		tv, ok := p.Info.Types[e]
+		if !ok {
+			return
+		}
+		n := namedOf(tv.Type)
+		if n == nil {
+			return
+		}
+		if _, ok := cands[n.Obj()]; ok {
+			out[n.Obj()] = true
+		}
+	}
+	if fd.Recv != nil {
+		for _, r := range fd.Recv.List {
+			note(r.Type)
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, r := range fd.Type.Results.List {
+			note(r.Type)
+		}
+	}
+	return out
+}
+
+// walk flags candidate field accesses under n. allowed lists the shard
+// types this context owns; inGo marks code that runs on a goroutine
+// spawned inside the owning function, where even the owner must not
+// touch shard state.
+func (c ShardConfined) walk(p *Package, n ast.Node, allowed map[*types.TypeName]bool, cands map[*types.TypeName]*confinedStruct, inGo bool, out *[]Diagnostic) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// Arguments evaluate on the spawning goroutine; only the
+				// literal's body escapes.
+				for _, arg := range n.Call.Args {
+					c.walk(p, arg, allowed, cands, inGo, out)
+				}
+				c.walk(p, lit.Body, allowed, cands, true, out)
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			sel, ok := p.Info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			named := namedOf(sel.Recv())
+			if named == nil {
+				return true
+			}
+			cand, isCand := cands[named.Obj()]
+			if !isCand || cand.exempt[n.Sel.Name] {
+				return true
+			}
+			switch {
+			case inGo:
+				*out = append(*out, diag(p, c.Name(), n,
+					"field %s of shard-confined type %s is accessed from a spawned goroutine; shard state belongs to one serve goroutine (//ldp:nolint shardconfined if hand-synchronized)",
+					n.Sel.Name, named.Obj().Name()))
+			case allowed == nil || !allowed[named.Obj()]:
+				*out = append(*out, diag(p, c.Name(), n,
+					"field %s of shard-confined type %s is accessed outside its methods and constructors (//ldp:nolint shardconfined if ownership is handed over)",
+					n.Sel.Name, named.Obj().Name()))
+			}
+			return true
+		}
+		return true
+	})
+}

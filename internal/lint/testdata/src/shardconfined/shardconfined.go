@@ -1,0 +1,56 @@
+// Package shardtest exercises the shardconfined checker: fields of a
+// struct whose name contains "shard" may only be touched by the type's
+// own methods and by constructors returning it. Channel, sync/atomic
+// and obs-instrument fields are exempt (they are the sanctioned
+// cross-goroutine surface), and accesses inside a spawned goroutine are
+// flagged even from an owning method.
+package shardtest
+
+import (
+	"sync/atomic"
+
+	"ldplayer/internal/obs"
+)
+
+type fooShard struct {
+	n    int
+	buf  []byte
+	done chan struct{}
+	seq  atomic.Uint64
+	hits *obs.Counter
+}
+
+// newFooShard is a constructor: it returns the shard, so wiring up its
+// fields here is the ownership hand-off.
+func newFooShard(hits *obs.Counter) *fooShard {
+	sh := &fooShard{done: make(chan struct{}), hits: hits}
+	sh.buf = make([]byte, 16)
+	return sh
+}
+
+// serve owns the shard: plain field access is fine, but anything inside
+// a spawned goroutine is a second thread of execution.
+func (sh *fooShard) serve() {
+	sh.n++
+	sh.hits.Inc()
+	go func() {
+		sh.n++ // want "accessed from a spawned goroutine"
+		close(sh.done)
+	}()
+}
+
+// steal is neither a method nor a constructor — reaching into the
+// shard's plain fields from here breaks confinement.
+func steal(sh *fooShard) {
+	sh.n++          // want "accessed outside its methods and constructors"
+	_ = len(sh.buf) // want "accessed outside its methods and constructors"
+	<-sh.done       // exempt: channel field
+	sh.seq.Add(1)   // exempt: atomic field
+	sh.hits.Inc()   // exempt: obs instrument
+	sh.serve()      // method call, not a field access
+}
+
+// drain documents a deliberate exception with a justification.
+func drain(sh *fooShard) int {
+	return sh.n //ldp:nolint shardconfined — read after the serve goroutine has exited
+}

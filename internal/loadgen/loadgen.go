@@ -1,0 +1,379 @@
+// Package loadgen drives a DNS server with UDP query load and measures
+// what comes back — the paper's query-rate experiments (Figs 9, 13) in
+// library form. It runs either closed-loop (each worker keeps exactly
+// one query outstanding, so the measured rate is the server's service
+// rate) or open-loop (queries leave at a fixed aggregate rate whether
+// or not responses return, the paper's replay discipline), and reports
+// achieved qps, qps per schedulable core, and latency percentiles via
+// the obs registry.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/obs"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Target is the server's UDP address.
+	Target netip.AddrPort
+	// Listen, when set, builds each worker's socket (vnet tests);
+	// defaults to a kernel UDP socket on the unspecified address.
+	Listen func() (net.PacketConn, error)
+	// QPS is the aggregate open-loop send rate; 0 selects closed-loop
+	// operation (each worker sends the next query when the previous
+	// response arrives or times out).
+	QPS float64
+	// Concurrency is the worker count, one socket each (default 1).
+	Concurrency int
+	// Duration stops the run after this long; 0 means run until Total.
+	Duration time.Duration
+	// Total stops the run after this many queries across all workers;
+	// 0 means run until Duration. At least one of the two must be set.
+	Total int
+	// Timeout is the per-query response timeout (default 2 s).
+	Timeout time.Duration
+	// Queries are the packed query wires to send, cycled per worker.
+	// Wires are copied before the ID patch, so shared slices are safe.
+	Queries [][]byte
+	// Obs receives the run's instruments (loadgen.* namespace); nil
+	// keeps a private registry.
+	Obs *obs.Registry
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Sent     uint64
+	Received uint64
+	Timeouts uint64
+	Elapsed  time.Duration
+	// QPS is received / elapsed — responses actually completed, the
+	// paper's throughput metric — and QPSPerCore divides it by
+	// runtime.GOMAXPROCS(0), the figure the sharded-serving work is
+	// judged on.
+	QPS        float64
+	QPSPerCore float64
+	Latency    obs.HistogramSnapshot
+}
+
+// Run executes one load-generation run and blocks until it completes or
+// ctx is cancelled (cancellation stops sending and returns what was
+// measured so far, not an error).
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if len(cfg.Queries) == 0 {
+		return Report{}, errors.New("loadgen: no queries")
+	}
+	if cfg.Duration <= 0 && cfg.Total <= 0 {
+		return Report{}, errors.New("loadgen: need Duration or Total")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.Listen == nil {
+		cfg.Listen = func() (net.PacketConn, error) {
+			pc, _, err := transport.ListenUDP(listenAddrFor(cfg.Target))
+			return pc, err
+		}
+	}
+
+	sent := cfg.Obs.ShardedCounter("loadgen.sent")
+	received := cfg.Obs.ShardedCounter("loadgen.received")
+	timeouts := cfg.Obs.ShardedCounter("loadgen.timeouts")
+	latency := cfg.Obs.Histogram("loadgen.latency_seconds", obs.LatencyBuckets)
+	// The registry may be shared (obs.Default across several runs), so
+	// the report is the delta over this run, not the instrument totals.
+	base := baseline{
+		sent: sent.Value(), received: received.Value(),
+		timeouts: timeouts.Value(), latency: latency.Snap(),
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	// Split Total across workers, front-loading the remainder.
+	quota := make([]int, cfg.Concurrency)
+	if cfg.Total > 0 {
+		for i := range quota {
+			quota[i] = cfg.Total / cfg.Concurrency
+			if i < cfg.Total%cfg.Concurrency {
+				quota[i]++
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Concurrency)
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		if cfg.Total > 0 && quota[i] == 0 {
+			continue // more workers than queries: this one has nothing to send
+		}
+		w := &worker{
+			cfg:      &cfg,
+			quota:    quota[i],
+			sent:     sent.Slot(i),
+			received: received.Slot(i),
+			timeouts: timeouts.Slot(i),
+			latency:  latency,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.run(runCtx)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := Report{
+		Sent:     sent.Value() - base.sent,
+		Received: received.Value() - base.received,
+		Timeouts: timeouts.Value() - base.timeouts,
+		Elapsed:  elapsed,
+		Latency:  histDelta(latency.Snap(), base.latency),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		r.QPS = float64(r.Received) / secs
+		r.QPSPerCore = r.QPS / float64(runtime.GOMAXPROCS(0))
+	}
+	if ctx.Err() != nil {
+		return r, nil // caller-initiated stop: partial results, no error
+	}
+	return r, errors.Join(errs...)
+}
+
+type baseline struct {
+	sent, received, timeouts uint64
+	latency                  obs.HistogramSnapshot
+}
+
+// worker owns one socket and one in-flight window.
+type worker struct {
+	cfg   *Config
+	quota int
+
+	sent     *obs.Counter
+	received *obs.Counter
+	timeouts *obs.Counter
+	latency  *obs.Histogram
+
+	// sendNs[id] is the send time (UnixNano) of the outstanding query
+	// with that DNS ID, 0 when the slot is free. IDs are the low 16
+	// bits of the worker's send sequence, so a slot is reused only
+	// after 65536 further sends — far beyond any sane timeout window.
+	sendNs  []atomic.Int64
+	seq     uint64
+	scratch []byte
+}
+
+func (w *worker) run(ctx context.Context) error {
+	pc, err := w.cfg.Listen()
+	if err != nil {
+		return err
+	}
+	defer pc.Close()
+	w.sendNs = make([]atomic.Int64, 65536)
+	w.scratch = make([]byte, 0, 512)
+	if w.cfg.QPS > 0 {
+		return w.openLoop(ctx, pc)
+	}
+	return w.closedLoop(ctx, pc)
+}
+
+// next copies the seq-th query into scratch with the DNS ID patched to
+// the sequence number and stamps its send slot.
+func (w *worker) next() []byte {
+	q := w.cfg.Queries[int(w.seq)%len(w.cfg.Queries)]
+	id := uint16(w.seq)
+	w.seq++
+	wire := append(w.scratch[:0], q...)
+	w.scratch = wire
+	if len(wire) >= 2 {
+		wire[0], wire[1] = byte(id>>8), byte(id)
+	}
+	if w.sendNs[id].Swap(time.Now().UnixNano()) != 0 {
+		// The slot's previous occupant never got a reply; its timeout
+		// was (or will be) accounted by whoever noticed first.
+		w.timeouts.Inc()
+	}
+	return wire
+}
+
+// settle records a response for id, returning false for unmatched (late
+// duplicate or stray) datagrams.
+func (w *worker) settle(id uint16, at time.Time) bool {
+	t0 := w.sendNs[id].Swap(0)
+	if t0 == 0 {
+		return false
+	}
+	w.received.Inc()
+	w.latency.Observe(at.Sub(time.Unix(0, t0)).Seconds())
+	return true
+}
+
+// closedLoop keeps one query outstanding: send, wait for its response
+// (draining strays), then the next. The achieved rate is the server's
+// per-worker service rate.
+func (w *worker) closedLoop(ctx context.Context, pc net.PacketConn) error {
+	dst := net.UDPAddrFromAddrPort(w.cfg.Target)
+	buf := make([]byte, 65536)
+	for n := 0; w.quota == 0 || n < w.quota; n++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		wire := w.next()
+		id := uint16(w.seq - 1)
+		if _, err := pc.WriteTo(wire, dst); err != nil {
+			return err
+		}
+		w.sent.Inc()
+		deadline := time.Now().Add(w.cfg.Timeout)
+		pc.SetReadDeadline(deadline) //ldp:nolint errcheck — a failed deadline surfaces as the read error below
+		for {
+			rn, _, err := pc.ReadFrom(buf)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					if w.sendNs[id].Swap(0) != 0 {
+						w.timeouts.Inc()
+					}
+					break
+				}
+				return err
+			}
+			if rn < 2 {
+				continue
+			}
+			rid := uint16(buf[0])<<8 | uint16(buf[1])
+			if w.settle(rid, time.Now()) && rid == id {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// openLoop sends at the configured rate regardless of responses — the
+// replay discipline: a slow server sees a growing backlog, not a
+// politely backing-off client. A receiver goroutine matches responses.
+func (w *worker) openLoop(ctx context.Context, pc net.PacketConn) error {
+	dst := net.UDPAddrFromAddrPort(w.cfg.Target)
+	interval := time.Duration(float64(w.cfg.Concurrency) / w.cfg.QPS * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		buf := make([]byte, 65536)
+		for {
+			rn, _, err := pc.ReadFrom(buf)
+			if err != nil {
+				return // socket closed or deadline-poked after send loop ends
+			}
+			if rn >= 2 {
+				w.settle(uint16(buf[0])<<8|uint16(buf[1]), time.Now())
+			}
+		}
+	}()
+
+	next := time.Now()
+	for n := 0; w.quota == 0 || n < w.quota; n++ {
+		if sleep := time.Until(next); sleep > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(sleep):
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wire := w.next()
+		if _, err := pc.WriteTo(wire, dst); err != nil {
+			pc.SetReadDeadline(time.Now()) //ldp:nolint errcheck — best-effort receiver unblock on the error path
+			<-recvDone
+			return err
+		}
+		w.sent.Inc()
+		next = next.Add(interval)
+	}
+
+	// Grace period: let in-flight responses land, then unblock the
+	// receiver and count what never arrived.
+	grace := time.NewTimer(w.cfg.Timeout)
+	select {
+	case <-grace.C:
+	case <-ctx.Done():
+		grace.Stop()
+	}
+	pc.SetReadDeadline(time.Now()) //ldp:nolint errcheck — best-effort receiver unblock at end of run
+	<-recvDone
+	for i := range w.sendNs {
+		if w.sendNs[i].Swap(0) != 0 {
+			w.timeouts.Inc()
+		}
+	}
+	return nil
+}
+
+// listenAddrFor picks the local wildcard matching the target's family.
+func listenAddrFor(target netip.AddrPort) string {
+	if target.Addr().Is6() && !target.Addr().Is4In6() {
+		return "[::]:0"
+	}
+	return "0.0.0.0:0"
+}
+
+// histDelta subtracts baseline from cur bucket-wise, for runs sharing a
+// registry with earlier runs.
+func histDelta(cur, base obs.HistogramSnapshot) obs.HistogramSnapshot {
+	d := obs.HistogramSnapshot{
+		Count:  cur.Count - base.Count,
+		Sum:    cur.Sum - base.Sum,
+		Bounds: cur.Bounds,
+		Counts: make([]uint64, len(cur.Counts)),
+	}
+	for i := range cur.Counts {
+		d.Counts[i] = cur.Counts[i]
+		if i < len(base.Counts) {
+			d.Counts[i] -= base.Counts[i]
+		}
+	}
+	return d
+}
+
+// QueryWires extracts the UDP query wires from a trace, the bridge from
+// internal/workload generators and recorded traces to Config.Queries.
+func QueryWires(t *trace.Trace) [][]byte {
+	var qs [][]byte
+	for _, e := range t.Events {
+		if e.Proto == trace.UDP && e.IsQuery() && len(e.Wire) >= 12 {
+			qs = append(qs, e.Wire)
+		}
+	}
+	return qs
+}

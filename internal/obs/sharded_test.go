@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestShardedCounterSlots(t *testing.T) {
+	r := NewRegistry()
+	c := r.ShardedCounter("test.sharded")
+	if got := c.Value(); got != 0 {
+		t.Fatalf("empty Value = %d", got)
+	}
+	s0 := c.Slot(0)
+	s2 := c.Slot(2)
+	s0.Add(3)
+	s2.Add(4)
+	c.Slot(1).Inc()
+	if got := c.Value(); got != 8 {
+		t.Fatalf("Value = %d, want 8", got)
+	}
+	if n := c.NumSlots(); n != 3 {
+		t.Fatalf("NumSlots = %d, want 3", n)
+	}
+	// Handles resolved before growth keep counting the same slot after.
+	c.Slot(7)
+	s0.Inc()
+	if got := c.Value(); got != 9 {
+		t.Fatalf("Value after growth = %d, want 9", got)
+	}
+	// Same name returns the same instrument.
+	if r.ShardedCounter("test.sharded") != c {
+		t.Fatal("re-registration returned a different instrument")
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	c := &ShardedCounter{}
+	const shards, each = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			h := c.Slot(slot)
+			for j := 0; j < each; j++ {
+				h.Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value(); got != shards*each {
+		t.Fatalf("Value = %d, want %d", got, shards*each)
+	}
+}
+
+func TestShardedCounterInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.ShardedCounter("test.snap.sharded")
+	c.Slot(0).Add(5)
+	c.Slot(3).Add(7)
+	s := r.Snapshot()
+	if got := s.Counters["test.snap.sharded"]; got != 12 {
+		t.Fatalf("snapshot counter = %d, want 12", got)
+	}
+}
+
+// TestSlotCounterPadding pins the false-sharing defense: one slot spans
+// at least a full 64-byte cache line.
+func TestSlotCounterPadding(t *testing.T) {
+	if sz := unsafe.Sizeof(slotCounter{}); sz < 64 {
+		t.Fatalf("slotCounter is %d bytes; want >= 64 (cache line)", sz)
+	}
+}

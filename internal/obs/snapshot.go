@@ -65,6 +65,22 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 	return h.Bounds[len(h.Bounds)-1]
 }
 
+// Snap freezes one histogram's current state — the single-instrument
+// form of Registry.Snapshot, for callers (loadgen) that difference one
+// histogram across a run without scraping the whole registry.
+func (h *Histogram) Snap() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
 // Snapshot copies every instrument's current value.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
@@ -78,19 +94,12 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Counters[name] = v.Value()
 		case *CounterFunc:
 			s.Counters[name] = v.Value()
+		case *ShardedCounter:
+			s.Counters[name] = v.Value()
 		case *Gauge:
 			s.Gauges[name] = v.Value()
 		case *Histogram:
-			hs := HistogramSnapshot{
-				Count:  v.Count(),
-				Sum:    v.Sum(),
-				Bounds: v.bounds,
-				Counts: make([]uint64, len(v.counts)),
-			}
-			for i := range v.counts {
-				hs.Counts[i] = v.counts[i].Load()
-			}
-			s.Histograms[name] = hs
+			s.Histograms[name] = v.Snap()
 		}
 	})
 	return s

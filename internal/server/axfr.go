@@ -72,9 +72,9 @@ func (s *Server) handleAXFR(src netip.Addr, req *dnsmsg.Msg, ep msgSender) error
 		if err := ep.Send(wire); err != nil {
 			return err
 		}
-		s.stats.bytesOut.Add(uint64(len(wire) + 2))
+		s.stats.stream.bytesOut.Add(uint64(len(wire) + 2))
 	}
-	s.stats.responses.Add(1)
+	s.stats.stream.responses.Add(1)
 	return nil
 }
 
@@ -82,7 +82,7 @@ func (s *Server) axfrRefused(req *dnsmsg.Msg, ep msgSender) error {
 	var m dnsmsg.Msg
 	m.SetReply(req)
 	m.Rcode = dnsmsg.RcodeRefused
-	s.stats.refused.Add(1)
+	s.stats.stream.refused.Add(1)
 	wire, err := m.Pack()
 	if err != nil {
 		return err

@@ -18,84 +18,58 @@ import (
 	"ldplayer/internal/transport"
 )
 
-// ServeUDP answers queries on conn until ctx is cancelled. It runs the
-// configured number of worker goroutines reading from the shared socket;
-// event-style workers keep per-query state minimal (the paper's §3
-// design note).
+// ServeUDP answers queries on conn until ctx is cancelled, running the
+// configured number of shards against the one shared socket. Shards on
+// a shared socket still keep private caches and counters but contend in
+// the kernel on the receive queue; for true multi-core scaling bind one
+// socket per shard with transport.ListenUDPReusePort and hand the set
+// to ServeUDPShards.
 func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
-	done := make(chan error, s.cfg.UDPWorkers)
-	stop := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) }) //ldp:nolint errcheck — best-effort unblock of the read loop on cancel
-	defer stop()
-	for i := 0; i < s.cfg.UDPWorkers; i++ {
-		go func() { done <- s.udpWorker(ctx, conn) }()
+	conns := make([]net.PacketConn, s.cfg.UDPWorkers)
+	for i := range conns {
+		conns[i] = conn
 	}
-	var firstErr error
-	for i := 0; i < s.cfg.UDPWorkers; i++ {
-		if err := <-done; err != nil && firstErr == nil {
-			firstErr = err
+	return s.ServeUDPShards(ctx, conns)
+}
+
+// ServeUDPShards answers queries until ctx is cancelled, one shard per
+// socket in conns (sockets may repeat — ServeUDP does — in which case
+// the repeated socket is shared and only the kernel-side steering is
+// lost). Each shard owns its socket, answer cache, buffers and counter
+// slots outright; see shard. On cancel every distinct socket gets its
+// read deadline re-armed to now so each shard's blocking read returns,
+// and the error from every shard is drained and joined — a shard that
+// died early no longer hides the others' exits.
+func (s *Server) ServeUDPShards(ctx context.Context, conns []net.PacketConn) error {
+	if len(conns) == 0 {
+		return errors.New("server: ServeUDPShards needs at least one socket")
+	}
+	stop := context.AfterFunc(ctx, func() {
+		poked := make(map[net.PacketConn]bool, len(conns))
+		for _, c := range conns {
+			if poked[c] {
+				continue
+			}
+			poked[c] = true
+			c.SetReadDeadline(time.Now()) //ldp:nolint errcheck — best-effort unblock of the shard read loops on cancel
+		}
+	})
+	defer stop()
+	done := make(chan error, len(conns))
+	for _, c := range conns {
+		sh := s.newShard(c)
+		go func() { done <- sh.serve(ctx) }()
+	}
+	errs := make([]error, 0, len(conns))
+	for range conns {
+		if err := <-done; err != nil {
+			errs = append(errs, err)
 		}
 	}
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
-	return firstErr
-}
-
-func (s *Server) udpWorker(ctx context.Context, conn net.PacketConn) error {
-	bp := transport.GetBuf()
-	defer transport.PutBuf(bp)
-	buf := *bp
-	req := dnsmsg.GetMsg()
-	defer dnsmsg.PutMsg(req)
-	// out is the worker's response scratch; HandleQueryWire packs into it
-	// (or serves a cached wire into it) so a warm worker's steady state is
-	// read, decode, lookup, write with zero per-query allocation.
-	out := make([]byte, 0, dnsmsg.DefaultEDNSUDP)
-	for {
-		n, addr, err := conn.ReadFrom(buf)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil
-			}
-			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
-				continue
-			}
-			return err
-		}
-		s.stats.bytesIn.Add(uint64(n))
-		s.stats.udpQueries.Add(1)
-		if err := req.UnpackBuffer(buf[:n]); err != nil {
-			continue // malformed datagrams are dropped, as servers do
-		}
-		src := transport.AddrPortOf(addr).Addr()
-		// Consult RRL before doing any lookup work: a dropped query must
-		// not cost a zone traversal, and a slipped one needs only the
-		// request header to build its truncated-empty reply.
-		var wire []byte
-		switch s.cfg.RRL.Check(src) {
-		case Drop:
-			s.stats.rrlDropped.Inc()
-			continue
-		case Slip:
-			// Truncated-empty response: legitimate clients retry over
-			// TCP; reflection targets get no amplification.
-			s.stats.rrlSlipped.Inc()
-			resp := new(dnsmsg.Msg).SetReply(req)
-			resp.Truncated = true
-			if wire, err = resp.Pack(); err != nil {
-				continue
-			}
-		default:
-			if wire, err = s.HandleQueryWire(src, req, s.cfg.MaxUDPSize, out[:0]); err != nil {
-				continue
-			}
-			out = wire[:0] // keep any growth for the next query
-		}
-		if _, err := conn.WriteTo(wire, addr); err == nil {
-			s.stats.bytesOut.Add(uint64(len(wire)))
-		}
-	}
+	return errors.Join(errs...)
 }
 
 // ServeTCP accepts stream connections until ctx is cancelled, answering
@@ -151,7 +125,7 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 		if err != nil {
 			return // idle timeout, client close, or malformed framing
 		}
-		s.stats.bytesIn.Add(uint64(n + 2))
+		s.stats.stream.bytesIn.Add(uint64(n + 2))
 		queries.Add(1)
 		if err := req.UnpackBuffer(buf[:n]); err != nil {
 			return
@@ -159,7 +133,7 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 		src := ep.RemoteAddr().Addr()
 		if len(req.Question) == 1 && req.Question[0].Type == dnsmsg.TypeAXFR &&
 			req.Opcode == dnsmsg.OpcodeQuery {
-			s.stats.queries.Inc()
+			s.stats.stream.queries.Inc()
 			s.stats.axfr.Inc()
 			if err := s.handleAXFR(src, req, ep); err != nil {
 				return
@@ -173,7 +147,7 @@ func (s *Server) streamServe(ctx context.Context, ep transport.Endpoint, queries
 		if err := ep.Send(out); err != nil {
 			return
 		}
-		s.stats.bytesOut.Add(uint64(len(out) + 2))
+		s.stats.stream.bytesOut.Add(uint64(len(out) + 2))
 		if ctx.Err() != nil {
 			return
 		}

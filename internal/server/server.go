@@ -8,6 +8,7 @@ package server
 
 import (
 	"net/netip"
+	"runtime"
 	"sync"
 	"time"
 
@@ -64,7 +65,13 @@ func (v *View) Matches(src netip.Addr) bool {
 type Config struct {
 	// TCPIdleTimeout closes idle TCP/TLS connections (paper: 5–40 s).
 	TCPIdleTimeout time.Duration
-	// UDPWorkers is the number of UDP handler goroutines (default 4).
+	// UDPWorkers is the number of UDP shards. Each shard is one serve
+	// goroutine with its own socket (when the listener supports
+	// SO_REUSEPORT; see transport.ListenUDPReusePort), its own answer
+	// cache and its own counter slots, so shards share nothing on the
+	// query path. Defaults to runtime.GOMAXPROCS(0) — one shard per
+	// schedulable core; set explicitly to pin a different width (e.g. 1
+	// to reproduce single-pipeline baselines).
 	UDPWorkers int
 	// MaxUDPSize caps UDP responses when the client sends no EDNS.
 	MaxUDPSize int
@@ -92,7 +99,7 @@ func New(cfg Config) *Server {
 		cfg.TCPIdleTimeout = 20 * time.Second
 	}
 	if cfg.UDPWorkers == 0 {
-		cfg.UDPWorkers = 4
+		cfg.UDPWorkers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.MaxUDPSize == 0 {
 		cfg.MaxUDPSize = dnsmsg.MaxUDPSize
@@ -142,8 +149,9 @@ func (s *Server) viewFor(src netip.Addr) *View {
 func (s *Server) HandleQuery(src netip.Addr, req *dnsmsg.Msg, maxSize int) *dnsmsg.Msg {
 	resp := &dnsmsg.Msg{}
 	var ans zone.Answer
-	s.answerInto(resp, &ans, src, req, maxSize)
-	s.stats.countRcode(resp.Rcode)
+	st := s.stats.stream
+	s.answerInto(resp, &ans, src, req, maxSize, st)
+	st.countRcode(resp.Rcode)
 	return resp
 }
 
@@ -158,7 +166,18 @@ var ansPool = sync.Pool{New: func() any { return new(zone.Answer) }}
 // run through pooled scratch so a warm server allocates only on cache
 // insertion. The returned slice aliases out (when it had capacity) and
 // is only valid until the next call with the same buffer.
+//
+// This public form runs against the server-wide answer cache and the
+// shared stream stats view; UDP shards call handleQueryWire with their
+// private cache and counter slots instead.
 func (s *Server) HandleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, out []byte) ([]byte, error) {
+	return s.handleQueryWire(src, req, maxSize, out, &s.anscache, s.stats.stream)
+}
+
+// handleQueryWire is HandleQueryWire against an explicit answer cache
+// and stat view. Each UDP shard passes its own pair, so two shards
+// answering concurrently touch no common mutable state on this path.
+func (s *Server) handleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, out []byte, cache *ansCache, st *statView) ([]byte, error) {
 	var (
 		v     *View
 		key   ansKey
@@ -176,14 +195,14 @@ func (s *Server) HandleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, o
 		limit = effectiveLimit(maxSize, udpSize, hasEDNS)
 		key = ansKey{view: v, name: q.Name, qtype: q.Type, do: do, edns: hasEDNS, size: sizeClass(limit)}
 		gen = v.Zones.Generation()
-		if e, ok := s.anscache.get(key, gen); ok {
-			s.stats.cacheHits.Inc()
-			s.stats.queries.Inc()
-			s.stats.countQtype(q.Type)
+		if e, ok := cache.get(key, gen); ok {
+			st.cacheHits.Inc()
+			st.queries.Inc()
+			st.countQtype(q.Type)
 			wire := e.full
 			if limit > 0 && len(e.full) > limit {
 				wire = e.trunc
-				s.stats.truncated.Add(1)
+				st.truncated.Add(1)
 			}
 			out = append(out[:0], wire...)
 			out[0] = byte(req.ID >> 8)
@@ -191,11 +210,11 @@ func (s *Server) HandleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, o
 			if req.RecursionDesired {
 				out[2] |= 1 // RD is bit 8 of the flags word: bit 0 of byte 2
 			}
-			s.stats.responses.Add(1)
-			s.stats.countRcode(e.rcode)
+			st.responses.Add(1)
+			st.countRcode(e.rcode)
 			return out, nil
 		}
-		s.stats.cacheMisses.Inc()
+		st.cacheMisses.Inc()
 	}
 
 	resp := dnsmsg.GetMsg()
@@ -209,14 +228,14 @@ func (s *Server) HandleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, o
 
 	// Truncation happens at the wire level here (the cache needs the full
 	// form regardless), so answerInto runs uncapped.
-	fromZone := s.answerInto(resp, ans, src, req, 0)
-	s.stats.countRcode(resp.Rcode)
+	fromZone := s.answerInto(resp, ans, src, req, 0, st)
+	st.countRcode(resp.Rcode)
 	out, err := resp.PackBuffer(out[:0])
 	if err != nil {
 		return nil, err
 	}
 
-	insert := fromZone && v != nil && s.anscache.admit(key)
+	insert := fromZone && v != nil && cache.admit(key)
 	needTrunc := limit > 0 && len(out) > limit
 	var truncWire []byte
 	if insert || needTrunc {
@@ -249,13 +268,13 @@ func (s *Server) HandleQueryWire(src netip.Addr, req *dnsmsg.Msg, maxSize int, o
 			rcode: resp.Rcode,
 			gen:   gen,
 		}
-		if ev := s.anscache.put(kc, e); ev > 0 {
-			s.stats.cacheEvictions.Add(uint64(ev))
+		if ev := cache.put(kc, e); ev > 0 {
+			st.cacheEvictions.Add(uint64(ev))
 		}
 	}
 	if needTrunc {
 		out = append(out[:0], truncWire...)
-		s.stats.truncated.Add(1)
+		st.truncated.Add(1)
 	}
 	return out, nil
 }
@@ -308,8 +327,8 @@ func sizeClass(limit int) uint8 {
 // answer, using ans as section scratch — resp's sections alias ans's
 // backing arrays afterwards. It reports whether the response came from a
 // zone lookup; header-only rejections (NOTIMPL, REFUSED) return false.
-func (s *Server) answerInto(resp *dnsmsg.Msg, ans *zone.Answer, src netip.Addr, req *dnsmsg.Msg, maxSize int) (fromZone bool) {
-	s.stats.queries.Inc()
+func (s *Server) answerInto(resp *dnsmsg.Msg, ans *zone.Answer, src netip.Addr, req *dnsmsg.Msg, maxSize int, st *statView) (fromZone bool) {
+	st.queries.Inc()
 	resp.SetReply(req)
 
 	if req.Opcode != dnsmsg.OpcodeQuery || len(req.Question) != 1 {
@@ -321,20 +340,20 @@ func (s *Server) answerInto(resp *dnsmsg.Msg, ans *zone.Answer, src netip.Addr, 
 		resp.Rcode = dnsmsg.RcodeNotImpl
 		return false
 	}
-	s.stats.countQtype(q.Type)
+	st.countQtype(q.Type)
 
 	udpSize, do, hasEDNS := req.EDNS()
 
 	v := s.viewFor(src)
 	if v == nil {
 		resp.Rcode = dnsmsg.RcodeRefused
-		s.stats.refused.Add(1)
+		st.refused.Add(1)
 		return false
 	}
 	z, ok := v.Zones.Find(q.Name)
 	if !ok {
 		resp.Rcode = dnsmsg.RcodeRefused
-		s.stats.refused.Add(1)
+		st.refused.Add(1)
 		return false
 	}
 
@@ -354,16 +373,16 @@ func (s *Server) answerInto(resp *dnsmsg.Msg, ans *zone.Answer, src netip.Addr, 
 	}
 
 	if limit := effectiveLimit(maxSize, udpSize, hasEDNS); limit > 0 {
-		s.truncateTo(resp, limit)
+		s.truncateTo(resp, limit, st)
 	}
-	s.stats.responses.Add(1)
+	st.responses.Add(1)
 	return true
 }
 
 // truncateTo enforces a byte limit: if the packed response exceeds it,
 // all sections except a retained OPT are dropped and TC is set, telling
 // the client to retry over TCP.
-func (s *Server) truncateTo(resp *dnsmsg.Msg, limit int) {
+func (s *Server) truncateTo(resp *dnsmsg.Msg, limit int, st *statView) {
 	wire, err := resp.Pack()
 	if err != nil || len(wire) <= limit {
 		return
@@ -378,5 +397,5 @@ func (s *Server) truncateTo(resp *dnsmsg.Msg, limit int) {
 		}
 	}
 	resp.Additional = opt
-	s.stats.truncated.Add(1)
+	st.truncated.Add(1)
 }

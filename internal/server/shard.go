@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/transport"
+)
+
+// shardBatch is how many datagrams one shard moves per recvmmsg/sendmmsg
+// round. 32 amortizes syscall cost well past the knee of the curve while
+// keeping per-shard buffer footprint (32 × 64 KiB read slots) modest.
+const shardBatch = 32
+
+// shard is one independent UDP serving pipeline. Everything a query
+// touches after the kernel picks the socket is shard-private: the socket
+// itself (SO_REUSEPORT flow steering keeps a 5-tuple pinned to it), the
+// batched I/O state, the decoded-request scratch, the response buffers,
+// the pre-packed answer cache and the stats slots. Shards therefore
+// share no locks and no written-to cache lines on the query path; the
+// only cross-shard structures are read-only (views, zone sets — guarded
+// internally for reload, uncontended otherwise) and the optional RRL
+// table, which is documented as serializing when enabled.
+//
+// Shard fields must not be touched from outside the owning shard's
+// serve goroutine — the ldp-vet shardconfined check enforces this.
+type shard struct {
+	srv   *Server
+	batch *transport.UDPBatch
+	st    *statView
+	cache ansCache
+
+	// req is the shard's decode scratch: deliberately not from the
+	// message pool, because pooled messages migrate between goroutines
+	// and this one must stay shard-confined for its arena to be safely
+	// reused without synchronization.
+	req *dnsmsg.Msg
+
+	// in holds the read batch; every slot keeps a full-size buffer so a
+	// jumbo datagram is never silently truncated (recvmmsg has no
+	// per-datagram retry).
+	in []transport.Datagram
+
+	// resp[i] is the pre-grown pack buffer for the i-th response of a
+	// round; out reuses these slices, so one round's responses coexist
+	// until sendmmsg flushes them all.
+	resp [][]byte
+	out  []transport.Datagram
+}
+
+// newShard builds a shard serving conn with its own cache and counters.
+func (s *Server) newShard(conn net.PacketConn) *shard {
+	sh := &shard{
+		srv:   s,
+		batch: transport.NewUDPBatch(conn),
+		st:    s.stats.shardView(),
+		req:   &dnsmsg.Msg{},
+		in:    make([]transport.Datagram, shardBatch),
+		resp:  make([][]byte, shardBatch),
+		out:   make([]transport.Datagram, 0, shardBatch),
+	}
+	sh.cache.init()
+	for i := range sh.in {
+		sh.in[i].Buf = make([]byte, transport.BufSize)
+	}
+	for i := range sh.resp {
+		sh.resp[i] = make([]byte, 0, dnsmsg.DefaultEDNSUDP)
+	}
+	return sh
+}
+
+// serve is the shard's whole life: read a batch, answer each datagram
+// into a shard-owned buffer, write the batch back. On Linux both
+// directions are single recvmmsg/sendmmsg syscalls; elsewhere UDPBatch
+// degrades to one datagram per round. Returns nil on context cancel
+// (ServeUDPShards pokes the socket's read deadline to unblock us).
+func (sh *shard) serve(ctx context.Context) error {
+	for {
+		n, err := sh.batch.ReadBatch(sh.in)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return err
+		}
+		out := sh.out[:0]
+		for i := 0; i < n; i++ {
+			m := &sh.in[i]
+			sh.st.bytesIn.Add(uint64(m.N))
+			sh.st.udpQueries.Inc()
+			if err := sh.req.UnpackBuffer(m.Buf[:m.N]); err != nil {
+				continue // malformed datagrams are dropped, as servers do
+			}
+			src := m.Addr.Addr()
+			var wire []byte
+			switch sh.srv.cfg.RRL.Check(src) {
+			case Drop:
+				sh.st.rrlDropped.Inc()
+				continue
+			case Slip:
+				// Truncated-empty response: legitimate clients retry
+				// over TCP; reflection targets get no amplification.
+				sh.st.rrlSlipped.Inc()
+				resp := new(dnsmsg.Msg).SetReply(sh.req)
+				resp.Truncated = true
+				if wire, err = resp.Pack(); err != nil {
+					continue
+				}
+			default:
+				slot := len(out)
+				wire, err = sh.srv.handleQueryWire(src, sh.req, sh.srv.cfg.MaxUDPSize,
+					sh.resp[slot][:0], &sh.cache, sh.st)
+				if err != nil {
+					continue
+				}
+				sh.resp[slot] = wire // keep any growth for later rounds
+			}
+			out = append(out, transport.Datagram{Buf: wire, Addr: m.Addr})
+		}
+		if len(out) == 0 {
+			continue
+		}
+		sent, werr := sh.batch.WriteBatch(out)
+		for i := 0; i < sent; i++ {
+			sh.st.bytesOut.Add(uint64(len(out[i].Buf)))
+		}
+		if werr != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return werr
+		}
+	}
+}

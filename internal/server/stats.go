@@ -10,22 +10,26 @@ import (
 
 // Stats is the server's accounting, held as live obs instruments in the
 // server's registry ("server." namespace) so a debug endpoint observes
-// the counters while the server runs. The experiment harness still polls
-// Snapshot the way the paper polled top/dstat/netstat — Snapshot is now
-// a view over the registry, so both consumers read the same counters.
+// the counters while the server runs. Every counter the per-query path
+// touches is an obs.ShardedCounter: each UDP shard increments its own
+// cache-line-padded slot and the totals are summed lazily at snapshot
+// time, so N shards never contend on one counter word. Slot 0 backs the
+// stream listeners and the public HandleQuery* API; UDP shards claim
+// slots 1..N via shardView. The experiment harness still polls Snapshot
+// the way the paper polled top/dstat/netstat.
 type Stats struct {
 	reg *obs.Registry
 
-	queries   *obs.Counter
-	responses *obs.Counter
-	refused   *obs.Counter
-	truncated *obs.Counter
+	queries   *obs.ShardedCounter
+	responses *obs.ShardedCounter
+	refused   *obs.ShardedCounter
+	truncated *obs.ShardedCounter
 	axfr      *obs.Counter
 
-	bytesIn  *obs.Counter
-	bytesOut *obs.Counter
+	bytesIn  *obs.ShardedCounter
+	bytesOut *obs.ShardedCounter
 
-	udpQueries *obs.Counter
+	udpQueries *obs.ShardedCounter
 	tcpQueries *obs.Counter
 	tlsQueries *obs.Counter
 
@@ -34,19 +38,51 @@ type Stats struct {
 	tlsConnsOpen  *obs.Gauge
 	tlsConnsTotal *obs.Counter
 
+	rrlDropped *obs.ShardedCounter
+	rrlSlipped *obs.ShardedCounter
+
+	// Pre-packed answer cache economics (HandleQueryWire and the shard
+	// loops; the Msg-returning HandleQuery path never consults a cache).
+	cacheHits      *obs.ShardedCounter
+	cacheMisses    *obs.ShardedCounter
+	cacheEvictions *obs.ShardedCounter
+
+	// nextSlot hands out per-shard slots; slot 0 is the stream/API view.
+	nextSlot atomic.Int64
+	stream   *statView
+}
+
+// statView is one slot's face of Stats: every counter the query path
+// touches, resolved to a private cache-line-padded slot so hot-path
+// increments never bounce a line between cores. A UDP shard owns one
+// view exclusively; the stream view (slot 0) is shared by stream
+// connection goroutines, which is safe — slots are atomic counters —
+// just not contention-free.
+type statView struct {
+	stats *Stats
+	slot  int
+
+	queries   *obs.Counter
+	responses *obs.Counter
+	refused   *obs.Counter
+	truncated *obs.Counter
+
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+
+	udpQueries *obs.Counter
+
 	rrlDropped *obs.Counter
 	rrlSlipped *obs.Counter
 
-	// Pre-packed answer cache economics (HandleQueryWire only; the
-	// Msg-returning HandleQuery path never consults the cache).
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 
 	// Per-rcode and per-qtype breakdowns (the paper's Table 1 query-mix
-	// view, live). Counters are created lazily on first sighting and
-	// cached so the per-query path is one atomic load + one add, with no
-	// string building.
+	// view, live). Series are shared across slots by name; each view
+	// caches its own slot handle on first sighting so the per-query
+	// path stays one atomic load + one add, with no string building.
 	rcodes [16]atomic.Pointer[obs.Counter]
 	qtypes sync.Map // dnsmsg.Type -> *obs.Counter
 }
@@ -54,52 +90,81 @@ type Stats struct {
 // init binds every instrument in reg; called once from New.
 func (s *Stats) init(reg *obs.Registry) {
 	s.reg = reg
-	s.queries = reg.Counter("server.queries")
-	s.responses = reg.Counter("server.responses")
-	s.refused = reg.Counter("server.refused")
-	s.truncated = reg.Counter("server.truncated")
+	s.queries = reg.ShardedCounter("server.queries")
+	s.responses = reg.ShardedCounter("server.responses")
+	s.refused = reg.ShardedCounter("server.refused")
+	s.truncated = reg.ShardedCounter("server.truncated")
 	s.axfr = reg.Counter("server.axfr")
-	s.bytesIn = reg.Counter("server.bytes_in")
-	s.bytesOut = reg.Counter("server.bytes_out")
-	s.udpQueries = reg.Counter("server.queries.udp")
+	s.bytesIn = reg.ShardedCounter("server.bytes_in")
+	s.bytesOut = reg.ShardedCounter("server.bytes_out")
+	s.udpQueries = reg.ShardedCounter("server.queries.udp")
 	s.tcpQueries = reg.Counter("server.queries.tcp")
 	s.tlsQueries = reg.Counter("server.queries.tls")
 	s.tcpConnsOpen = reg.Gauge("server.conns.tcp_open")
 	s.tcpConnsTotal = reg.Counter("server.conns.tcp_total")
 	s.tlsConnsOpen = reg.Gauge("server.conns.tls_open")
 	s.tlsConnsTotal = reg.Counter("server.conns.tls_total")
-	s.rrlDropped = reg.Counter("server.rrl.dropped")
-	s.rrlSlipped = reg.Counter("server.rrl.slipped")
-	s.cacheHits = reg.Counter("server.anscache.hits")
-	s.cacheMisses = reg.Counter("server.anscache.misses")
-	s.cacheEvictions = reg.Counter("server.anscache.evictions")
+	s.rrlDropped = reg.ShardedCounter("server.rrl.dropped")
+	s.rrlSlipped = reg.ShardedCounter("server.rrl.slipped")
+	s.cacheHits = reg.ShardedCounter("server.anscache.hits")
+	s.cacheMisses = reg.ShardedCounter("server.anscache.misses")
+	s.cacheEvictions = reg.ShardedCounter("server.anscache.evictions")
+	s.stream = s.view(0)
 }
 
-// countRcode bumps the per-rcode counter, creating it on first use.
-func (s *Stats) countRcode(rc dnsmsg.Rcode) {
-	if int(rc) >= len(s.rcodes) {
+// view resolves every sharded counter to one slot.
+func (s *Stats) view(slot int) *statView {
+	return &statView{
+		stats:          s,
+		slot:           slot,
+		queries:        s.queries.Slot(slot),
+		responses:      s.responses.Slot(slot),
+		refused:        s.refused.Slot(slot),
+		truncated:      s.truncated.Slot(slot),
+		bytesIn:        s.bytesIn.Slot(slot),
+		bytesOut:       s.bytesOut.Slot(slot),
+		udpQueries:     s.udpQueries.Slot(slot),
+		rrlDropped:     s.rrlDropped.Slot(slot),
+		rrlSlipped:     s.rrlSlipped.Slot(slot),
+		cacheHits:      s.cacheHits.Slot(slot),
+		cacheMisses:    s.cacheMisses.Slot(slot),
+		cacheEvictions: s.cacheEvictions.Slot(slot),
+	}
+}
+
+// shardView claims a fresh slot for one UDP shard.
+func (s *Stats) shardView() *statView {
+	return s.view(int(s.nextSlot.Add(1)))
+}
+
+// countRcode bumps the per-rcode counter, creating this slot's handle
+// on first use.
+func (v *statView) countRcode(rc dnsmsg.Rcode) {
+	if int(rc) >= len(v.rcodes) {
 		return // extended rcodes never come out of HandleQuery
 	}
-	c := s.rcodes[rc].Load()
+	c := v.rcodes[rc].Load()
 	if c == nil {
-		c = s.reg.Counter("server.rcode." + rc.String()) //ldp:nolint obsname — bounded dynamic family: 16 rcodes, each series cached after first use
-		s.rcodes[rc].Store(c)
+		c = v.stats.reg.ShardedCounter("server.rcode." + rc.String()).Slot(v.slot) //ldp:nolint obsname — bounded dynamic family: 16 rcodes, each series cached after first use
+		v.rcodes[rc].Store(c)
 	}
 	c.Inc()
 }
 
-// countQtype bumps the per-qtype counter, creating it on first use.
-func (s *Stats) countQtype(t dnsmsg.Type) {
-	if v, ok := s.qtypes.Load(t); ok {
-		v.(*obs.Counter).Inc()
+// countQtype bumps the per-qtype counter, creating this slot's handle
+// on first use.
+func (v *statView) countQtype(t dnsmsg.Type) {
+	if c, ok := v.qtypes.Load(t); ok {
+		c.(*obs.Counter).Inc()
 		return
 	}
-	c := s.reg.Counter("server.qtype." + t.String()) //ldp:nolint obsname — bounded dynamic family: qtypes seen in traffic, each series cached after first use
-	s.qtypes.Store(t, c)
+	c := v.stats.reg.ShardedCounter("server.qtype." + t.String()).Slot(v.slot) //ldp:nolint obsname — bounded dynamic family: qtypes seen in traffic, each series cached after first use
+	v.qtypes.Store(t, c)
 	c.Inc()
 }
 
-// StatsSnapshot is a point-in-time copy of every counter.
+// StatsSnapshot is a point-in-time copy of every counter (per-shard
+// slots summed).
 type StatsSnapshot struct {
 	Queries, Responses, Refused, Truncated uint64
 	AXFR                                   uint64
@@ -111,7 +176,7 @@ type StatsSnapshot struct {
 	CacheHits, CacheMisses, CacheEvictions uint64
 }
 
-// Snapshot copies the counters.
+// Snapshot copies the counters, aggregating shard slots.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Queries:        s.queries.Value(),

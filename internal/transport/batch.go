@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+)
+
+// Datagram is one UDP message in a batch: payload storage plus the peer
+// address. After ReadBatch, Buf[:N] is the received payload and Addr the
+// source; before WriteBatch, Buf is the exact wire to send and Addr the
+// destination.
+type Datagram struct {
+	Buf  []byte
+	N    int
+	Addr netip.AddrPort
+}
+
+// UDPBatch moves many datagrams per syscall over one UDP socket. On
+// Linux (*net.UDPConn) it drives recvmmsg/sendmmsg through the
+// socket's syscall.RawConn — integrated with the runtime poller, so
+// read deadlines and non-blocking waits behave exactly like ReadFrom —
+// and everywhere else (other platforms, vnet PacketConns) it degrades
+// to single-datagram ReadFrom/WriteTo with the same interface.
+//
+// A UDPBatch is owned by one goroutine (its serving shard): the batch
+// headers and sockaddr scratch are reused across calls without locking.
+// Multiple UDPBatch instances over the same socket are fine — the
+// kernel serializes datagram delivery per fd.
+type UDPBatch struct {
+	pc  net.PacketConn
+	sys *batchSys // non-nil when the platform fast path is usable
+}
+
+// NewUDPBatch wraps pc for batched I/O, detecting whether the platform
+// fast path applies. Batched reports which path was selected.
+func NewUDPBatch(pc net.PacketConn) *UDPBatch {
+	return &UDPBatch{pc: pc, sys: newBatchSys(pc)}
+}
+
+// Batched reports whether reads and writes move multiple datagrams per
+// syscall (false on the portable fallback).
+func (b *UDPBatch) Batched() bool { return b.sys != nil }
+
+// ReadBatch blocks until at least one datagram is available and fills
+// as many of ms as one syscall yields, returning the count. Each ms[i]
+// must carry a Buf with room for a full message. Deadline expiry on the
+// underlying socket surfaces as a net.Error with Timeout()==true, same
+// as ReadFrom.
+func (b *UDPBatch) ReadBatch(ms []Datagram) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	if b.sys != nil {
+		return b.sys.readBatch(ms)
+	}
+	n, addr, err := b.pc.ReadFrom(ms[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	ms[0].N = n
+	ms[0].Addr = AddrPortOf(addr)
+	return 1, nil
+}
+
+// WriteBatch sends every datagram in ms, batching syscalls where the
+// platform allows, and returns how many were handed to the kernel.
+// Per-datagram send failures (an ICMP-unreachable from an earlier
+// reply, a vanished client) are skipped, not fatal: the datagram is
+// dropped exactly as a lone WriteTo error would be, and the rest of the
+// batch still goes out. Only socket-level failures (closed fd) return
+// an error.
+func (b *UDPBatch) WriteBatch(ms []Datagram) (int, error) {
+	if b.sys != nil {
+		return b.sys.writeBatch(ms)
+	}
+	sent := 0
+	for i := range ms {
+		if _, err := b.pc.WriteTo(ms[i].Buf, net.UDPAddrFromAddrPort(ms[i].Addr)); err != nil {
+			if isClosedConn(err) {
+				return sent, err
+			}
+			continue // per-datagram failure: drop this reply, keep going
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// isClosedConn reports the unrecoverable "socket is gone" condition.
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,15 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+import "net"
+
+// batchSys is unavailable: every platform without the Linux
+// recvmmsg/sendmmsg path uses UDPBatch's portable single-datagram
+// fallback.
+type batchSys struct{}
+
+func newBatchSys(net.PacketConn) *batchSys { return nil }
+
+func (*batchSys) readBatch([]Datagram) (int, error)  { panic("unreachable") }
+func (*batchSys) writeBatch([]Datagram) (int, error) { panic("unreachable") }

@@ -1,0 +1,175 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// batchSys is the Linux recvmmsg/sendmmsg implementation behind
+// UDPBatch. All scratch (mmsghdr vectors, iovecs, sockaddr storage) is
+// sized to the largest batch seen and reused, so a warm shard's read
+// loop performs zero allocations per batch.
+type batchSys struct {
+	raw syscall.RawConn
+
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrAny
+}
+
+// mmsghdr mirrors struct mmsghdr: one msghdr plus the per-message byte
+// count the kernel fills in (recvmmsg) or reports (sendmmsg). The
+// trailing pad reproduces the C struct's alignment on 64-bit targets.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// newBatchSys returns the fast path when pc is a real UDP socket, nil
+// otherwise (vnet fabrics and wrapped conns use the portable fallback).
+func newBatchSys(pc net.PacketConn) *batchSys {
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	raw, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	return &batchSys{raw: raw}
+}
+
+// grow sizes the scratch vectors for a batch of n messages.
+func (b *batchSys) grow(n int) {
+	if cap(b.hdrs) < n {
+		b.hdrs = make([]mmsghdr, n)
+		b.iovs = make([]syscall.Iovec, n)
+		b.names = make([]syscall.RawSockaddrAny, n)
+	}
+	b.hdrs = b.hdrs[:n]
+	b.iovs = b.iovs[:n]
+	b.names = b.names[:n]
+}
+
+func (b *batchSys) readBatch(ms []Datagram) (int, error) {
+	b.grow(len(ms))
+	for i := range ms {
+		b.iovs[i].Base = &ms[i].Buf[0]
+		b.iovs[i].SetLen(len(ms[i].Buf))
+		b.names[i] = syscall.RawSockaddrAny{}
+		b.hdrs[i] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&b.names[i])),
+			Namelen: syscall.SizeofSockaddrAny,
+			Iov:     &b.iovs[i],
+			Iovlen:  1,
+		}}
+	}
+	var (
+		n    int
+		serr syscall.Errno
+	)
+	err := b.raw.Read(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(len(b.hdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EINTR {
+			return false // re-arm on the poller and retry
+		}
+		n, serr = int(r), e
+		return true
+	})
+	if err != nil {
+		return 0, err // deadline expiry / closed socket, as a net.Error
+	}
+	if serr != 0 {
+		return 0, serr
+	}
+	for i := 0; i < n; i++ {
+		ms[i].N = int(b.hdrs[i].n)
+		ms[i].Addr = sockaddrToAddrPort(&b.names[i])
+	}
+	return n, nil
+}
+
+func (b *batchSys) writeBatch(ms []Datagram) (int, error) {
+	b.grow(len(ms))
+	for i := range ms {
+		b.iovs[i].Base = &ms[i].Buf[0]
+		b.iovs[i].SetLen(len(ms[i].Buf))
+		nameLen := addrPortToSockaddr(&b.names[i], ms[i].Addr)
+		b.hdrs[i] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    (*byte)(unsafe.Pointer(&b.names[i])),
+			Namelen: nameLen,
+			Iov:     &b.iovs[i],
+			Iovlen:  1,
+		}}
+	}
+	sent := 0
+	for sent < len(ms) {
+		var (
+			n    int
+			serr syscall.Errno
+		)
+		err := b.raw.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&b.hdrs[sent])), uintptr(len(b.hdrs)-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN || e == syscall.EINTR {
+				return false
+			}
+			n, serr = int(r), e
+			return true
+		})
+		if err != nil {
+			return sent, err // closed socket; shutdown handles it
+		}
+		if serr != 0 {
+			// A per-datagram failure (async ICMP error, unreachable
+			// client) poisons only the head of the remaining vector:
+			// skip that one datagram and keep sending the rest.
+			sent++
+			continue
+		}
+		sent += n
+	}
+	return sent, nil
+}
+
+// sockaddrToAddrPort decodes the kernel-filled source address.
+func sockaddrToAddrPort(sa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch sa.Addr.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		sa6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+		p := (*[2]byte)(unsafe.Pointer(&sa6.Port))
+		addr := netip.AddrFrom16(sa6.Addr).Unmap()
+		return netip.AddrPortFrom(addr, uint16(p[0])<<8|uint16(p[1]))
+	}
+	return netip.AddrPort{}
+}
+
+// addrPortToSockaddr encodes a destination, returning the sockaddr
+// length sendmmsg expects.
+func addrPortToSockaddr(sa *syscall.RawSockaddrAny, ap netip.AddrPort) uint32 {
+	port := ap.Port()
+	if ap.Addr().Is4() || ap.Addr().Is4In6() {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		*sa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: ap.Addr().Unmap().As4()}
+		p := (*[2]byte)(unsafe.Pointer(&sa4.Port))
+		p[0], p[1] = byte(port>>8), byte(port)
+		return syscall.SizeofSockaddrInet4
+	}
+	sa6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(sa))
+	*sa6 = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Addr: ap.Addr().As16()}
+	p := (*[2]byte)(unsafe.Pointer(&sa6.Port))
+	p[0], p[1] = byte(port>>8), byte(port)
+	return syscall.SizeofSockaddrInet6
+}

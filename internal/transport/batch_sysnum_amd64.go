@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers. The syscall package's linux/amd64
+// table predates sendmmsg (kernel 3.0) and never grew it; the numbers
+// are ABI-frozen.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

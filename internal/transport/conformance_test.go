@@ -59,6 +59,9 @@ type fixture struct {
 	blackhole netip.AddrPort
 	// stream transports frame messages and reuse connections.
 	stream bool
+	// tcpFallback: a TCP listener shares the target port, so truncated
+	// answers can complete over TC fallback.
+	tcpFallback bool
 }
 
 // fixtures starts one authoritative server and exposes it through every
@@ -83,6 +86,20 @@ func fixtures(t *testing.T) []fixture {
 		t.Fatal(err)
 	}
 	go s.ServeTCP(ctx, lnTCP)
+
+	// Sharded UDP: the same server behind per-shard SO_REUSEPORT sockets
+	// (one socket where the platform lacks it), with its own TCP listener
+	// on the same port so TC fallback works identically.
+	shardConns, shardAddr, err := transport.ListenUDPReusePort("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeUDPShards(ctx, shardConns)
+	lnShardTCP, _, err := transport.ListenTCP(shardAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeTCP(ctx, lnShardTCP)
 	srvTLS, cliTLS, err := server.SelfSignedTLS("127.0.0.1")
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +146,8 @@ func fixtures(t *testing.T) []fixture {
 
 	netDialer := &transport.NetDialer{TLSConfig: cliTLS}
 	return []fixture{
-		{name: "udp", proto: transport.UDP, dialer: netDialer, target: udpAddr, blackhole: bhUDPAddr},
+		{name: "udp", proto: transport.UDP, dialer: netDialer, target: udpAddr, blackhole: bhUDPAddr, tcpFallback: true},
+		{name: "udp-sharded", proto: transport.UDP, dialer: netDialer, target: shardAddr, blackhole: bhUDPAddr, tcpFallback: true},
 		{name: "tcp", proto: transport.TCP, dialer: netDialer, target: tcpAddr, blackhole: bhStreamAddr, stream: true},
 		{name: "tls", proto: transport.TLS, dialer: netDialer, target: tlsAddr, blackhole: bhTLSAddr, stream: true},
 		{name: "vnet", proto: transport.UDP, dialer: cliHost, target: netip.AddrPortFrom(srvHost.Addr(), 53),
@@ -207,7 +225,7 @@ func conformTruncation(t *testing.T, f fixture) {
 	if !resp.Truncated {
 		t.Fatal("datagram transport did not truncate a 60-record answer")
 	}
-	if f.name == "udp" { // fallback needs a TCP path; the vnet fabric has none
+	if f.tcpFallback { // fallback needs a TCP path; the vnet fabric has none
 		x.DisableTCPFallback = false
 		resp, err = x.Exchange(context.Background(), f.target, query(t, "big.x.test.", 10))
 		if err != nil {

@@ -1,0 +1,28 @@
+//go:build linux
+
+package transport
+
+import (
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT. The syscall package predates the option
+// and never grew the constant; the value is 15 on every Linux
+// architecture this module targets (asm-generic sockets).
+const soReusePort = 0xf
+
+// ReusePortAvailable reports whether the platform supports binding
+// multiple sockets to one UDP address with kernel flow steering.
+func ReusePortAvailable() bool { return true }
+
+// reusePortControl sets SO_REUSEPORT before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package transport
+
+import "syscall"
+
+// ReusePortAvailable reports whether the platform supports binding
+// multiple sockets to one UDP address with kernel flow steering. The
+// portable build answers no; ListenUDPReusePort then binds exactly one
+// socket and shards share it.
+func ReusePortAvailable() bool { return false }
+
+// reusePortControl is a no-op where SO_REUSEPORT steering is
+// unavailable; only one socket is ever bound per address.
+func reusePortControl(network, address string, c syscall.RawConn) error { return nil }
