@@ -43,8 +43,10 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzMsgRoundTrip -fuzztime=$(FUZZTIME) ./internal/dnsmsg
 	$(GO) test -fuzz=FuzzUnpackPooledEquivalence -fuzztime=$(FUZZTIME) ./internal/dnsmsg
 	$(GO) test -fuzz=FuzzNameUnpack -fuzztime=$(FUZZTIME) ./internal/dnsmsg
-	$(GO) test -fuzz=FuzzZoneParse -fuzztime=$(FUZZTIME) ./internal/zone
-	$(GO) test -fuzz=FuzzPCAPRead -fuzztime=$(FUZZTIME) ./internal/pcap
+	$(GO) test -fuzz='^FuzzZoneParse$$' -fuzztime=$(FUZZTIME) ./internal/zone
+	$(GO) test -fuzz=FuzzZoneParseDifferential -fuzztime=$(FUZZTIME) ./internal/zone
+	$(GO) test -fuzz='^FuzzPCAPRead$$' -fuzztime=$(FUZZTIME) ./internal/pcap
+	$(GO) test -fuzz=FuzzPCAPReadZeroCopy -fuzztime=$(FUZZTIME) ./internal/pcap
 
 # Benchmarks (allocs/op on the transport exchange hot path included);
 # results refresh the committed bench.out baseline that CI gates
@@ -61,8 +63,9 @@ bench:
 # packages are the serve/replay fast path the pooled codec and answer
 # cache keep allocation-free.
 bench-check:
-	$(GO) test -bench=. -benchmem -run='^$$' ./internal/transport ./internal/dnsmsg ./internal/server ./internal/zone > bench.new || { cat bench.new; rm -f bench.new; exit 1; }
-	$(GO) run ./cmd/ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/(transport|dnsmsg|server|zone)\.'
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/transport ./internal/dnsmsg ./internal/server ./internal/zone ./internal/pcap > bench.new || { cat bench.new; rm -f bench.new; exit 1; }
+	$(GO) run ./cmd/ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/(transport|dnsmsg|server|zone|pcap)\.' \
+		-speedup 'recs/s:ldplayer/internal/zone.BenchmarkZoneParseStreaming:ldplayer/internal/zone.BenchmarkZoneParseClassic:10'
 
 # Regenerate every table and figure (about six minutes at small scale).
 experiments:

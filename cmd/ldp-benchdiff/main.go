@@ -28,10 +28,18 @@ type result struct {
 	nsPerOp     float64
 	allocsPerOp float64
 	hasAllocs   bool
-	// qps/core as reported by the serving benchmarks via b.ReportMetric;
-	// throughput is hardware-bound, so like ns/op it is report-only.
-	qpsPerCore float64
-	hasQPS     bool
+	// Every "value unit" pair on the line, keyed by unit. Beyond the
+	// gated allocs/op this carries the report-only throughput metrics:
+	// qps/core from the serving benchmarks, recs/s and MB/s from the
+	// zone-ingestion and pcap-scan benchmarks. All are hardware-bound,
+	// so absolute values are never gated across runs — only the
+	// same-run ratios expressed via -speedup.
+	metrics map[string]float64
+}
+
+func (r result) metric(unit string) (float64, bool) {
+	v, ok := r.metrics[unit]
+	return v, ok
 }
 
 // parseBench reads `go test -bench` output, keying each benchmark as
@@ -66,27 +74,51 @@ func parseBench(path string) (map[string]result, error) {
 				name = name[:i]
 			}
 		}
-		r := result{}
+		r := result{metrics: map[string]float64{}}
 		// After the iteration count come "value unit" pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
+			r.metrics[fields[i+1]] = v
 			switch fields[i+1] {
 			case "ns/op":
 				r.nsPerOp = v
 			case "allocs/op":
 				r.allocsPerOp = v
 				r.hasAllocs = true
-			case "qps/core":
-				r.qpsPerCore = v
-				r.hasQPS = true
 			}
 		}
 		out[pkg+"."+name] = r
 	}
 	return out, sc.Err()
+}
+
+// speedupSpec is one -speedup requirement: within the NEW run, the
+// fast benchmark's metric must be at least min times the slow one's.
+// Same-run ratios cancel out the hardware, so unlike cross-run ns/op
+// they are stable enough to gate on — this is how CI enforces "the
+// streaming zone parser stays >= 10x the classic one".
+type speedupSpec struct {
+	metric     string
+	fast, slow string
+	min        float64
+}
+
+// parseSpeedup parses "metric:FASTKEY:SLOWKEY:MIN". Colons cannot
+// appear in benchmark keys (pkg paths and names use '/' and '.') or in
+// metric units, so the format is unambiguous.
+func parseSpeedup(s string) (speedupSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return speedupSpec{}, fmt.Errorf("want metric:FASTKEY:SLOWKEY:MIN, got %q", s)
+	}
+	min, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil || min <= 0 {
+		return speedupSpec{}, fmt.Errorf("bad minimum ratio %q", parts[3])
+	}
+	return speedupSpec{metric: parts[0], fast: parts[1], slow: parts[2], min: min}, nil
 }
 
 func pct(base, now float64) float64 {
@@ -107,6 +139,15 @@ func main() {
 	newFile := flag.String("new", "bench.new", "freshly measured bench output")
 	match := flag.String("match", "", "regexp selecting which benchmark keys are gated (empty gates all)")
 	maxAllocs := flag.Float64("max-allocs-regress", 0.20, "fail when allocs/op grows more than this fraction")
+	var speedups []speedupSpec
+	flag.Func("speedup", "metric:FASTKEY:SLOWKEY:MIN — require fast >= MIN*slow on metric within the new run (repeatable)", func(s string) error {
+		sp, err := parseSpeedup(s)
+		if err != nil {
+			return err
+		}
+		speedups = append(speedups, sp)
+		return nil
+	})
 	flag.Parse()
 
 	var sel *regexp.Regexp
@@ -156,9 +197,13 @@ func main() {
 		fmt.Printf("%s %-60s allocs/op %8.1f -> %8.1f (%+6.1f%%)   ns/op %10.0f -> %10.0f (%+6.1f%%, informational)",
 			status, k, b.allocsPerOp, n.allocsPerOp, 100*allocsDelta,
 			b.nsPerOp, n.nsPerOp, 100*pct(b.nsPerOp, n.nsPerOp))
-		if b.hasQPS && n.hasQPS {
-			fmt.Printf("   qps/core %9.0f -> %9.0f (%+6.1f%%, informational)",
-				b.qpsPerCore, n.qpsPerCore, 100*pct(b.qpsPerCore, n.qpsPerCore))
+		for _, unit := range []string{"qps/core", "recs/s", "MB/s"} {
+			bv, bok := b.metric(unit)
+			nv, nok := n.metric(unit)
+			if bok && nok {
+				fmt.Printf("   %s %9.0f -> %9.0f (%+6.1f%%, informational)",
+					unit, bv, nv, 100*pct(bv, nv))
+			}
 		}
 		fmt.Println()
 	}
@@ -168,11 +213,40 @@ func main() {
 		}
 	}
 
+	// Speedup gates: same-run ratios in the new measurements.
+	for _, sp := range speedups {
+		fastRes, ok := now[sp.fast]
+		if !ok {
+			log.Fatalf("speedup: %s not found in new run", sp.fast)
+		}
+		slowRes, ok := now[sp.slow]
+		if !ok {
+			log.Fatalf("speedup: %s not found in new run", sp.slow)
+		}
+		fv, ok := fastRes.metric(sp.metric)
+		if !ok {
+			log.Fatalf("speedup: %s has no %s metric", sp.fast, sp.metric)
+		}
+		sv, ok := slowRes.metric(sp.metric)
+		if !ok || sv == 0 {
+			log.Fatalf("speedup: %s has no usable %s metric", sp.slow, sp.metric)
+		}
+		ratio := fv / sv
+		status := "ok  "
+		if ratio < sp.min {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s speedup %s: %s / %s = %.1fx (need >= %.1fx)\n",
+			status, sp.metric, sp.fast, sp.slow, ratio, sp.min)
+		compared++
+	}
+
 	if compared == 0 {
 		log.Fatal("no benchmarks matched; nothing compared")
 	}
 	if failed > 0 {
-		log.Fatalf("%d benchmark(s) regressed more than %.0f%% allocs/op (refresh the baseline with `make bench` if intentional)",
+		log.Fatalf("%d check(s) failed: allocs/op regressed more than %.0f%% or a -speedup ratio was missed (refresh the baseline with `make bench` if intentional)",
 			failed, *maxAllocs*100)
 	}
 	fmt.Printf("%d benchmark(s) within budget\n", compared)

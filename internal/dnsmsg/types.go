@@ -62,6 +62,16 @@ func (t Type) String() string {
 	return fmt.Sprintf("TYPE%d", uint16(t))
 }
 
+// TypeFromBytes looks up a type mnemonic given as a byte slice. It only
+// covers the mnemonic table (no TYPE### form); callers fall back to
+// TypeFromString for everything else. The map index over string(b)
+// compiles to an allocation-free lookup, which is what the streaming
+// zone parser's hot path needs.
+func TypeFromBytes(b []byte) (Type, bool) {
+	t, ok := typeValues[string(b)]
+	return t, ok
+}
+
 // TypeFromString parses a type mnemonic ("A", "AAAA", ...) or the RFC 3597
 // TYPE### form.
 func TypeFromString(s string) (Type, error) {
@@ -96,6 +106,21 @@ func (c Class) String() string {
 		return "ANY"
 	}
 	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// ClassFromBytes looks up a class mnemonic given as a byte slice without
+// allocating. Like TypeFromBytes it covers only the mnemonics; the
+// CLASS### form goes through ClassFromString.
+func ClassFromBytes(b []byte) (Class, bool) {
+	switch string(b) { // compiles to no-copy comparisons
+	case "IN":
+		return ClassINET, true
+	case "CH":
+		return ClassCH, true
+	case "ANY":
+		return ClassANY, true
+	}
+	return 0, false
 }
 
 // ClassFromString parses a class mnemonic or the RFC 3597 CLASS### form.

@@ -36,7 +36,11 @@ func (dr *DNSReader) Read() (*trace.Event, error) {
 			dr.queue = dr.queue[1:]
 			return e, nil
 		}
-		pkt, err := dr.pr.Read()
+		// Zero-copy is safe here: ingest either copies the payload into
+		// the event's Wire (UDP) or hands it to the reassembler, which
+		// appends it into per-flow buffers — nothing retains pkt.Data
+		// past this iteration.
+		pkt, err := dr.pr.ReadZeroCopy()
 		if err != nil {
 			return nil, err
 		}

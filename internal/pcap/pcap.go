@@ -35,9 +35,29 @@ type Packet struct {
 	Orig int    // original wire length (>= len(Data) when truncated)
 }
 
+// Clone returns a copy whose Data is owned by the caller, the escape
+// hatch for retaining a packet obtained from ReadZeroCopy.
+func (p Packet) Clone() Packet {
+	data := make([]byte, len(p.Data))
+	copy(data, p.Data)
+	p.Data = data
+	return p
+}
+
+// maxCapLen rejects per-packet capture lengths no real trace produces
+// (the writer's snaplen is 256 KiB), bounding block buffer growth.
+const maxCapLen = 256 * 1024
+
 // Reader streams packets from a pcap file.
+//
+// The reader owns a single block buffer it refills in large reads;
+// ReadZeroCopy returns packets whose Data are sub-slices of that block,
+// so a multi-gigabyte trace is scanned without a per-packet allocation.
+// Read is the copying wrapper for callers that retain packets.
 type Reader struct {
-	r        *bufio.Reader
+	r        io.Reader
+	blk      []byte
+	pos, end int
 	order    binary.ByteOrder
 	nanos    bool
 	LinkType uint32
@@ -46,13 +66,21 @@ type Reader struct {
 
 // NewReader parses the global header and prepares to stream packets.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	pr := &Reader{r: r, blk: make([]byte, 1<<16)}
+	avail, err := pr.fill(24)
+	if avail < 24 {
+		// Mirror io.ReadFull's error selection so the wrapped error is
+		// what callers have always matched on.
+		if err == io.EOF && avail > 0 {
+			err = io.ErrUnexpectedEOF
+		} else if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, fmt.Errorf("pcap: short global header: %w", err)
 	}
+	hdr := pr.blk[pr.pos : pr.pos+24]
+	pr.pos += 24
 	magic := binary.LittleEndian.Uint32(hdr[0:])
-	pr := &Reader{r: br}
 	switch magic {
 	case magicUsec:
 		pr.order = binary.LittleEndian
@@ -70,35 +98,89 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return pr, nil
 }
 
-// Read returns the next packet or io.EOF.
-func (pr *Reader) Read() (Packet, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
+// fill makes at least need bytes available at pr.pos, compacting the
+// block and growing it when necessary. It returns how many bytes are
+// available, which may be fewer than need only when err is non-nil.
+func (pr *Reader) fill(need int) (int, error) {
+	if pr.end-pr.pos >= need {
+		return pr.end - pr.pos, nil
+	}
+	if pr.pos+need > len(pr.blk) {
+		// Compact first; grow only if the block cannot hold need bytes.
+		copy(pr.blk, pr.blk[pr.pos:pr.end])
+		pr.end -= pr.pos
+		pr.pos = 0
+		for need > len(pr.blk) {
+			nb := make([]byte, 2*len(pr.blk))
+			copy(nb, pr.blk[:pr.end])
+			pr.blk = nb
+		}
+	}
+	empty := 0
+	for pr.end-pr.pos < need {
+		n, err := pr.r.Read(pr.blk[pr.end:])
+		pr.end += n
+		if err != nil {
+			return pr.end - pr.pos, err
+		}
+		if n == 0 {
+			if empty++; empty >= 100 {
+				return pr.end - pr.pos, io.ErrNoProgress
+			}
+		} else {
+			empty = 0
+		}
+	}
+	return pr.end - pr.pos, nil
+}
+
+// ReadZeroCopy returns the next packet or io.EOF. The packet's Data
+// aliases the reader's block buffer and is valid only until the next
+// ReadZeroCopy or Read call; use Packet.Clone to retain it. The
+// sub-slice is capacity-limited, so appending to it cannot clobber
+// bytes of packets not yet read.
+func (pr *Reader) ReadZeroCopy() (Packet, error) {
+	avail, err := pr.fill(16)
+	if avail < 16 {
+		if err == io.EOF && avail > 0 {
 			return Packet{}, io.ErrUnexpectedEOF
 		}
 		return Packet{}, io.EOF
 	}
+	hdr := pr.blk[pr.pos : pr.pos+16]
+	pr.pos += 16
 	sec := pr.order.Uint32(hdr[0:])
 	frac := pr.order.Uint32(hdr[4:])
 	capLen := pr.order.Uint32(hdr[8:])
 	origLen := pr.order.Uint32(hdr[12:])
-	if capLen > 256*1024 {
+	if capLen > maxCapLen {
 		return Packet{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
 	}
-	data := make([]byte, capLen)
-	if _, err := io.ReadFull(pr.r, data); err != nil {
+	avail, _ = pr.fill(int(capLen)) //ldp:nolint errcheck — any failure to produce capLen bytes maps to ErrUnexpectedEOF, matching io.ReadFull's use here
+	if avail < int(capLen) {
 		return Packet{}, io.ErrUnexpectedEOF
 	}
+	a, b := pr.pos, pr.pos+int(capLen)
+	pr.pos = b
 	ns := int64(frac)
 	if !pr.nanos {
 		ns *= 1000
 	}
 	return Packet{
 		Time: time.Unix(int64(sec), ns),
-		Data: data,
+		Data: pr.blk[a:b:b],
 		Orig: int(origLen),
 	}, nil
+}
+
+// Read returns the next packet or io.EOF. The packet's Data is freshly
+// allocated and owned by the caller.
+func (pr *Reader) Read() (Packet, error) {
+	p, err := pr.ReadZeroCopy()
+	if err != nil {
+		return Packet{}, err
+	}
+	return p.Clone(), nil
 }
 
 // Writer emits a pcap file with nanosecond timestamps.

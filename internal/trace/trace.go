@@ -54,7 +54,10 @@ func ProtoFromString(s string) (Proto, error) {
 
 // Event is one DNS message observed (or to be replayed) at a point in
 // time. Wire holds the packed DNS message; Msg decodes it on demand so
-// the replay input path stays allocation-light.
+// the replay input path stays allocation-light. Wire is owned by the
+// event: producers (pcap.DNSReader, the trace format readers) copy the
+// message bytes out of any shared read buffer before emitting, so an
+// event may be retained or queued indefinitely.
 type Event struct {
 	Time  time.Time
 	Src   netip.AddrPort
