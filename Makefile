@@ -58,13 +58,14 @@ bench:
 	cat bench.out
 
 # Re-measure the gated hot-path benchmarks (transport exchange, message
-# codec, server answer cache, zone lookup) and compare against the
-# committed baseline; fails on >20% allocs/op regression. These four
-# packages are the serve/replay fast path the pooled codec and answer
-# cache keep allocation-free.
+# codec, server answer cache, zone lookup, cluster replay) and compare
+# against the committed baseline; fails on >20% allocs/op regression.
+# These packages are the serve/replay fast path the pooled codec and
+# answer cache keep allocation-free, plus the netsim cluster engine
+# whose per-query scheduling must stay allocation-free.
 bench-check:
-	$(GO) test -bench=. -benchmem -run='^$$' ./internal/transport ./internal/dnsmsg ./internal/server ./internal/zone ./internal/pcap > bench.new || { cat bench.new; rm -f bench.new; exit 1; }
-	$(GO) run ./cmd/ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/(transport|dnsmsg|server|zone|pcap)\.' \
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/transport ./internal/dnsmsg ./internal/server ./internal/zone ./internal/pcap ./internal/netsim > bench.new || { cat bench.new; rm -f bench.new; exit 1; }
+	$(GO) run ./cmd/ldp-benchdiff -baseline bench.out -new bench.new -match 'internal/(transport|dnsmsg|server|zone|pcap|netsim)\.' \
 		-speedup 'recs/s:ldplayer/internal/zone.BenchmarkZoneParseStreaming:ldplayer/internal/zone.BenchmarkZoneParseClassic:10'
 
 # Regenerate every table and figure (about six minutes at small scale).

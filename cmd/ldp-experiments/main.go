@@ -7,6 +7,7 @@
 //	ldp-experiments -run all -scale small
 //	ldp-experiments -run fig10
 //	ldp-experiments -run ablation -scale tiny
+//	ldp-experiments cluster-anycast -sites 4
 package main
 
 import (
@@ -26,7 +27,22 @@ func main() {
 
 	run := flag.String("run", "all", "experiment id (table1, fig6..fig15c, ablation) or 'all'")
 	scaleName := flag.String("scale", "small", "tiny | small | large")
-	flag.Parse()
+	sites := flag.Int("sites", 0, "site count k for cluster-anycast (0 sweeps k=1,2,4,8)")
+	// Accept the experiment id as a leading positional argument too
+	// (`ldp-experiments cluster-anycast -sites 4`): flag parsing stops at
+	// the first non-flag, so peel it off before parsing.
+	args := os.Args[1:]
+	posRun := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		posRun, args = args[0], args[1:]
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		log.Fatal(err) // unreachable: CommandLine is ExitOnError
+	}
+	runID := *run
+	if posRun != "" {
+		runID = posRun
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -43,11 +59,15 @@ func main() {
 	start := time.Now()
 	var results []*experiments.Result
 	var err error
-	if *run == "all" {
+	if runID == "all" {
 		results, err = experiments.All(sc)
 	} else {
 		var res *experiments.Result
-		res, err = experiments.ByID(*run, sc)
+		if runID == "cluster-anycast" && *sites > 0 {
+			res, err = experiments.ClusterAnycastSites(sc, *sites)
+		} else {
+			res, err = experiments.ByID(runID, sc)
+		}
 		if res != nil {
 			results = []*experiments.Result{res}
 		}

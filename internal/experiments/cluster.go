@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/metrics"
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/netsim"
+	"ldplayer/internal/trace"
+)
+
+// ClusterAnycast answers the ROADMAP's "what if B-Root had k anycast
+// sites under this workload" question: the all-TCP B-Root-model trace
+// replayed through a simulated cluster of k authoritative replicas
+// behind a nearest-RTT anycast catchment, sweeping k and reporting the
+// per-site and aggregate memory/connection/latency series. A final
+// section interposes a recursive-resolver fleet (shared vs partitioned
+// caches) in front of the largest cluster. The k=1 column doubles as
+// the calibration pin: its per-site report must be byte-identical to
+// the single-server Run path that reproduces Figs 13/14.
+func ClusterAnycast(sc Scale) (*Result, error) { return ClusterAnycastSites(sc, 0) }
+
+// ClusterAnycastSites is ClusterAnycast at an explicit site count
+// (the CLI's -sites flag); sites <= 0 sweeps {1, 2, 4, 8}.
+func ClusterAnycastSites(sc Scale, sites int) (*Result, error) {
+	sweep := []int{1, 2, 4, 8}
+	if sites > 0 {
+		sweep = []int{1, sites}
+		if sites == 1 {
+			sweep = []int{1}
+		}
+	}
+	kMax := sweep[len(sweep)-1]
+
+	r := &Result{ID: "cluster-anycast",
+		Title: fmt.Sprintf("What if B-Root had k anycast sites (all-TCP, nearest-RTT catchment, k up to %d)", kMax)}
+
+	// Same trace-duration floor as the Fig 13/14 footprint sweeps: the
+	// connection tables need several idle/TIME_WAIT periods to reach
+	// equilibrium at any scale.
+	fsc := sc
+	if fsc.TraceDuration < 3*time.Minute {
+		fsc.TraceDuration = 3 * time.Minute
+	}
+	tr := brootTrace17(fsc, 17)
+	allTCP, err := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	if err != nil {
+		return nil, err
+	}
+	warm := fsc.TraceDuration / 2
+	responder := rootResponder()
+	siteRTT := netsim.SiteEmpiricalRTT(170)
+	serverCfg := netsim.ServerConfig{IdleTimeout: 20 * time.Second, Seed: 8, Responder: responder}
+
+	// The calibration pin: the existing single-server Run on the same
+	// trace and RTT world, for the k=1 identity check.
+	single := netsim.Run(allTCP, netsim.RunConfig{
+		Server:        serverCfg,
+		RTT:           func(src netip.Addr) time.Duration { return siteRTT(src, 0) },
+		SampleEvery:   15 * time.Second,
+		KeepLatencies: true,
+	})
+
+	r.addRow("%-10s %9s %7s %9s %11s %10s %9s %9s",
+		"k/site", "queries", "share", "mem(GB)", "established", "TIME_WAIT", "p50(ms)", "p95(ms)")
+	siteLine := func(label string, rep *netsim.RunReport, share float64) {
+		lat := latencyMillis(rep.Latencies)
+		s := metrics.Summarize(lat)
+		r.addRow("%-10s %9d %6.0f%% %9.2f %11.0f %10.0f %9.1f %9.1f",
+			label, rep.Queries, 100*share,
+			rep.Memory.SteadyState(warm).P50/(1<<30),
+			rep.Established.SteadyState(warm).P50,
+			rep.TimeWait.SteadyState(warm).P50,
+			s.P50, s.P95)
+	}
+
+	reports := map[int]*netsim.ClusterReport{}
+	for _, k := range sweep {
+		crep := netsim.RunCluster(allTCP, netsim.RunClusterConfig{
+			ClusterConfig: netsim.ClusterConfig{
+				Sites:   k,
+				Server:  serverCfg,
+				Route:   netsim.NewNearestRTT(k, siteRTT),
+				SiteRTT: siteRTT,
+			},
+			SampleEvery:   15 * time.Second,
+			KeepLatencies: true,
+		})
+		reports[k] = crep
+		total := crep.Aggregate.Queries
+		siteLine(fmt.Sprintf("k=%d agg", k), crep.Aggregate, 1)
+		for i, site := range crep.Sites {
+			share := 0.0
+			if total > 0 {
+				share = float64(site.Queries) / float64(total)
+			}
+			siteLine(fmt.Sprintf("  site %d", i), site, share)
+		}
+	}
+
+	// Resolver fleet in front of the largest cluster: shared vs
+	// partitioned caches at the same fleet size.
+	fleetRun := func(partitioned bool) *netsim.ClusterReport {
+		return netsim.RunCluster(allTCP, netsim.RunClusterConfig{
+			ClusterConfig: netsim.ClusterConfig{
+				Sites:   kMax,
+				Server:  serverCfg,
+				Route:   netsim.NewNearestRTT(kMax, siteRTT),
+				SiteRTT: siteRTT,
+				Fleet:   &netsim.FleetConfig{Resolvers: 8, Partitioned: partitioned, TTL: 5 * time.Minute},
+			},
+			SampleEvery: 15 * time.Second,
+		})
+	}
+	shared, part := fleetRun(false), fleetRun(true)
+	for name, fr := range map[string]*netsim.ClusterReport{"shared": shared, "partitioned": part} {
+		r.addRow("fleet M=8 %-11s cache at k=%d: hit rate %5.1f%%, upstream queries %d of %d, aggregate established p50 %.0f",
+			name, kMax, 100*fr.Fleet.HitRate(), fr.Fleet.Misses, fr.Fleet.Hits+fr.Fleet.Misses,
+			fr.Aggregate.Established.SteadyState(warm).P50)
+	}
+
+	// Checks.
+	k1 := reports[sweep[0]]
+	singleJSON, err := json.Marshal(single)
+	if err != nil {
+		return nil, err
+	}
+	k1JSON, err := json.Marshal(k1.Sites[0])
+	if err != nil {
+		return nil, err
+	}
+	r.addCheck("k=1 cluster byte-identical to single-server Run (Fig 13/14 stay pinned)",
+		"identical reports", fmt.Sprintf("%d vs %d JSON bytes, equal=%v",
+			len(singleJSON), len(k1JSON), bytes.Equal(singleJSON, k1JSON)),
+		bytes.Equal(singleJSON, k1JSON))
+
+	conserved := true
+	for _, k := range sweep {
+		if reports[k].Aggregate.Queries != single.Queries {
+			conserved = false
+		}
+	}
+	r.addCheck("query conservation: every site count serves the whole trace",
+		fmt.Sprintf("%d queries at every k", single.Queries),
+		fmt.Sprintf("aggregate queries across k%v", sweepQueries(reports, sweep)), conserved)
+
+	if kMax > 1 {
+		kRep := reports[kMax]
+		allServe := true
+		maxEst := 0.0
+		for _, site := range kRep.Sites {
+			if site.Queries == 0 {
+				allServe = false
+			}
+			if est := site.Established.SteadyState(warm).P50; est > maxEst {
+				maxEst = est
+			}
+		}
+		singleEst := single.Established.SteadyState(warm).P50
+		r.addCheck(fmt.Sprintf("anycast spreads connection state: busiest of %d sites below the single server", kMax),
+			"per-site established shrinks with k",
+			fmt.Sprintf("%.0f vs %.0f established", maxEst, singleEst),
+			allServe && maxEst < singleEst)
+
+		med := func(rep *netsim.RunReport) float64 {
+			return metrics.Summarize(latencyMillis(rep.Latencies)).P50
+		}
+		lat1, latK := med(single), med(kRep.Aggregate)
+		r.addCheck("nearest-RTT catchment lowers median latency as sites are added",
+			"clients reach a closer replica", fmt.Sprintf("%.1f ms at k=1 vs %.1f ms at k=%d", lat1, latK, kMax),
+			latK < lat1)
+	}
+
+	r.addCheck("shared resolver cache hits at least as often as partitioned",
+		"shared sees every fill", fmt.Sprintf("%.1f%% vs %.1f%%",
+			100*shared.Fleet.HitRate(), 100*part.Fleet.HitRate()),
+		shared.Fleet.HitRate() >= part.Fleet.HitRate() && shared.Fleet.Hits > 0)
+	r.addCheck("resolver fleet shields the replicas (upstream queries below client queries)",
+		"cache absorbs repeats", fmt.Sprintf("%d of %d forwarded", shared.Fleet.Misses, single.Queries),
+		shared.Fleet.Misses < single.Queries)
+	return r, nil
+}
+
+func latencyMillis(ls []netsim.LatencySample) []float64 {
+	out := make([]float64, len(ls))
+	for i, l := range ls {
+		out[i] = l.Latency.Seconds() * 1000
+	}
+	return out
+}
+
+func sweepQueries(reports map[int]*netsim.ClusterReport, sweep []int) []uint64 {
+	out := make([]uint64, len(sweep))
+	for i, k := range sweep {
+		out[i] = reports[k].Aggregate.Queries
+	}
+	return out
+}

@@ -166,6 +166,8 @@ func ByID(id string, sc Scale) (*Result, error) {
 		return DoSOverload(sc)
 	case "live-footprint":
 		return LiveFootprint(sc)
+	case "cluster-anycast":
+		return ClusterAnycast(sc)
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q", id)
 }

@@ -57,6 +57,36 @@ func TestDoSOverload(t *testing.T) { runExperiment(t, "dos") }
 
 func TestLiveFootprint(t *testing.T) { runExperiment(t, "live-footprint") }
 
+func TestClusterAnycast(t *testing.T) {
+	res := runExperiment(t, "cluster-anycast")
+	// The k=1 identity pin must be among the checks — it is what keeps
+	// the Fig 13/14 single-server path and the cluster engine fused.
+	found := false
+	for _, c := range res.Checks {
+		if strings.Contains(c.Name, "byte-identical") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cluster-anycast missing the k=1 identity check")
+	}
+}
+
+func TestClusterAnycastExplicitSites(t *testing.T) {
+	res, err := ClusterAnycastSites(Tiny, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("check %q diverges: paper %s, measured %s", c.Name, c.Paper, c.Measured)
+		}
+	}
+	if !strings.Contains(res.Title, "k up to 3") {
+		t.Errorf("title %q does not reflect -sites 3", res.Title)
+	}
+}
+
 func TestByIDUnknown(t *testing.T) {
 	if _, err := ByID("fig99", Tiny); err == nil {
 		t.Error("unknown id accepted")

@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Cluster-shaped fixtures: the mistakes a resolver-fleet cache or an
+// anycast catchment policy could make. The strict tier covers every
+// file in the package, so the real cluster.go/route.go/fleet.go are
+// held to these same rules.
+
+type fleetCache struct {
+	expiry map[string]time.Time
+}
+
+// wallClockTTL models a fleet cache that expires entries against the
+// wall clock instead of the simulation clock.
+func (c *fleetCache) wallClockTTL(key string) bool {
+	return c.expiry[key].Before(time.Now()) // want "time.Now on a simulated/clock-injected path"
+}
+
+// globalRandCatchment models a weighted catchment drawing sites from
+// the process-global source, coupling every experiment's routing.
+func globalRandCatchment(sites int) int {
+	return rand.Intn(sites) // want "math/rand.Intn draws on the global math/rand source"
+}
+
+// timerDrain models draining connections on a real timer rather than
+// scheduling a simulated event.
+func timerDrain(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "time.After on a simulated/clock-injected path"
+}
+
+// seededCatchment is the correct shape: a per-cluster seeded stream.
+func seededCatchment(seed int64, sites int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(sites)
+}
+
+// simExpiry is the correct fleet-cache shape: expiry in virtual time,
+// compared against an injected simulation now.
+func simExpiry(expiry map[string]time.Duration, key string, now time.Duration) bool {
+	return now >= expiry[key]
+}

@@ -1,0 +1,44 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+)
+
+// BenchmarkRunCluster replays a B-Root-model all-TCP trace through a
+// 4-site anycast cluster per iteration. It sits under the ldp-benchdiff
+// allocs/op gate: the cluster engine schedules queries with one
+// pre-bound handler + AtArg, so allocations must stay proportional to
+// trace size (events + connection state), not to site count or to
+// per-query scheduling.
+func BenchmarkRunCluster(b *testing.B) {
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration:   60 * time.Second,
+		MedianRate: 150,
+		Clients:    400,
+		Seed:       42,
+	})
+	allTCP, err := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := RunClusterConfig{
+		ClusterConfig: ClusterConfig{
+			Sites: 4,
+			Route: UniformCatchment(4, 7),
+		},
+		SampleEvery: 10 * time.Second,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := RunCluster(allTCP, cfg)
+		if rep.Aggregate.Queries == 0 {
+			b.Fatal("no queries served")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// ClusterConfig describes a simulated authoritative cluster: k anycast
+// replicas of the same server host, a catchment policy deciding which
+// replica each source reaches, and optionally a recursive-resolver
+// fleet in front of the replicas.
+type ClusterConfig struct {
+	// Sites is the replica count k (default 1).
+	Sites int
+	// Server configures every replica; replica i runs with Seed+i so
+	// sites draw independent jitter streams while k=1 keeps the exact
+	// single-server stream.
+	Server ServerConfig
+	// Route is the anycast catchment policy; nil sends everything to
+	// site 0 (which makes a 1-site cluster identical to Run).
+	Route RoutePolicy
+	// Fleet interposes recursive resolvers between clients and sites;
+	// nil means clients query the replicas directly.
+	Fleet *FleetConfig
+	// SiteRTT gives the round-trip time from a source to each site;
+	// nil means a constant 1 ms to every site.
+	SiteRTT func(src netip.Addr, site int) time.Duration
+}
+
+// Cluster instantiates the replicas over one shared virtual clock.
+type Cluster struct {
+	sim   *Sim
+	sites []*Server
+	route RoutePolicy
+	rtt   func(src netip.Addr, site int) time.Duration
+	fleet *fleet
+}
+
+// NewCluster attaches a simulated cluster to sim.
+func NewCluster(sim *Sim, cfg ClusterConfig) *Cluster {
+	k := cfg.Sites
+	if k <= 0 {
+		k = 1
+	}
+	c := &Cluster{sim: sim, sites: make([]*Server, k), route: cfg.Route, rtt: cfg.SiteRTT}
+	if c.route == nil {
+		c.route = singleSite{}
+	}
+	if c.rtt == nil {
+		c.rtt = func(netip.Addr, int) time.Duration { return time.Millisecond }
+	}
+	for i := range c.sites {
+		scfg := cfg.Server
+		scfg.Seed += int64(i)
+		c.sites[i] = NewServer(sim, scfg)
+	}
+	if cfg.Fleet != nil {
+		c.fleet = newFleet(*cfg.Fleet)
+	}
+	return c
+}
+
+// Sites returns the replica count.
+func (c *Cluster) Sites() int { return len(c.sites) }
+
+// Site returns replica i.
+func (c *Cluster) Site(i int) *Server { return c.sites[i] }
+
+// FleetReport returns the resolver-layer summary, or nil without a
+// fleet.
+func (c *Cluster) FleetReport() *FleetReport {
+	if c.fleet == nil {
+		return nil
+	}
+	return c.fleet.rep
+}
+
+// siteFor folds the policy's choice into range (Euclidean modulo, so a
+// policy built for more sites still distributes rather than panicking).
+func (c *Cluster) siteFor(src netip.Addr) int {
+	s := c.route.Site(src) % len(c.sites)
+	if s < 0 {
+		s += len(c.sites)
+	}
+	return s
+}
+
+// Query routes one client query through the fleet (when present) and
+// the catchment policy to a replica. It returns the client-observed
+// latency, the site that served the query (-1 for a fleet cache hit,
+// which no site sees), and whether the serving connection was fresh.
+func (c *Cluster) Query(ev *trace.Event) (latency time.Duration, site int, fresh bool) {
+	if c.fleet != nil {
+		return c.fleet.query(c, ev)
+	}
+	src := ev.Src.Addr()
+	site = c.siteFor(src)
+	latency, fresh = c.sites[site].Query(ev, c.rtt(src, site))
+	return latency, site, fresh
+}
+
+// RunClusterConfig parameterizes a simulated cluster replay.
+type RunClusterConfig struct {
+	ClusterConfig
+	// SampleEvery controls how often per-site resource series are
+	// sampled (default: 60 simulated seconds).
+	SampleEvery time.Duration
+	// KeepLatencies records per-query latency samples.
+	KeepLatencies bool
+}
+
+// ClusterReport is one cluster run's output: a full RunReport per site
+// plus the cluster-wide aggregate.
+type ClusterReport struct {
+	// Sites holds one report per replica, indexed by site.
+	Sites []*RunReport
+	// Aggregate sums the sites: resource series are added samplewise,
+	// counters summed, CPUPercent averaged over all cores in the
+	// cluster. With a fleet, Aggregate.Queries counts only cache
+	// misses (the queries replicas actually served); Fleet carries the
+	// hit/miss split. Aggregate.Latencies orders cache-hit samples
+	// first, then each site's samples — grouping for distributions,
+	// not arrival order.
+	Aggregate *RunReport
+	// Fleet summarizes the resolver layer, nil when none configured.
+	Fleet *FleetReport
+}
+
+// RunCluster replays a trace through a simulated cluster and collects
+// per-site reports plus the aggregate. It is the generalization of Run
+// (which is exactly a 1-site cluster): scheduling discipline — one
+// resource sampler per site armed before any query, queries in trace
+// order via pre-bound handlers — matches Run event for event, so a
+// 1-site cluster reproduces Run's reports byte for byte.
+func RunCluster(tr *trace.Trace, cfg RunClusterConfig) *ClusterReport {
+	k := cfg.Sites
+	if k <= 0 {
+		k = 1
+	}
+	crep := &ClusterReport{Sites: make([]*RunReport, k), Aggregate: &RunReport{}}
+	for i := range crep.Sites {
+		crep.Sites[i] = &RunReport{}
+	}
+	if len(tr.Events) == 0 {
+		return crep
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = time.Minute
+	}
+
+	sim := New()
+	cl := NewCluster(sim, cfg.ClusterConfig)
+	crep.Fleet = cl.FleetReport()
+	start := tr.Events[0].Time
+	end := tr.Events[len(tr.Events)-1].Time.Sub(start)
+	dcfg := cfg.Server.withDefaults()
+	// The drain window past the last query: one idle timeout closes the
+	// last connections, one TIME_WAIT period retires them. The run
+	// extends to the first sampler tick at or past that horizon so the
+	// series includes one sample of the fully drained state.
+	drain := dcfg.IdleTimeout + dcfg.TimeWait
+	horizon := end + drain
+	if rem := horizon % cfg.SampleEvery; rem != 0 {
+		horizon += cfg.SampleEvery - rem
+	}
+
+	// Periodic resource sampling, one sampler per site, all armed before
+	// any query is scheduled (Run's discipline). Sampling continues
+	// through the drain window so the TIME_WAIT decay tail lands in the
+	// series.
+	lastBytes := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		i := i
+		site, srv := crep.Sites[i], cl.sites[i]
+		var sample func()
+		sample = func() {
+			at := sim.Now()
+			site.Memory.Add(at, float64(srv.MemoryBytes()))
+			site.Established.Add(at, float64(srv.Established()))
+			site.TimeWait.Add(at, float64(srv.TimeWait()))
+			cur := srv.BytesOut()
+			site.Bandwidth.Add(at, float64(cur-lastBytes[i])*8/cfg.SampleEvery.Seconds())
+			lastBytes[i] = cur
+			if at < horizon {
+				sim.After(cfg.SampleEvery, sample)
+			}
+		}
+		sim.After(cfg.SampleEvery, sample)
+	}
+
+	// Schedule every query at its trace offset: one handler bound once +
+	// AtArg per event keeps scheduling allocation-free per query.
+	runQuery := func(a any) {
+		ev := a.(*trace.Event)
+		lat, site, fresh := cl.Query(ev)
+		if cfg.KeepLatencies {
+			ls := LatencySample{
+				Src: ev.Src.Addr(), Proto: ev.Proto, Latency: lat, Fresh: fresh, Site: site,
+			}
+			if site >= 0 {
+				crep.Sites[site].Latencies = append(crep.Sites[site].Latencies, ls)
+			} else {
+				crep.Aggregate.Latencies = append(crep.Aggregate.Latencies, ls)
+			}
+		}
+	}
+	for _, ev := range tr.Events {
+		if !ev.IsQuery() {
+			continue
+		}
+		sim.AtArg(ev.Time.Sub(start), runQuery, ev)
+	}
+
+	sim.Run(horizon)
+
+	var busy time.Duration
+	for i, srv := range cl.sites {
+		site := crep.Sites[i]
+		if end > 0 {
+			// Guarded: a single-event trace has end == 0, and 0/0 would
+			// put NaN in the report (and break JSON encoding).
+			site.CPUPercent = 100 * srv.cpuBusy.Seconds() / (end.Seconds() * float64(srv.cfg.Cores))
+		}
+		site.Queries = srv.queries
+		site.Handshakes = srv.handshakes
+		site.BytesOut = srv.BytesOut()
+		site.Duration = end
+		busy += srv.cpuBusy
+	}
+
+	agg := crep.Aggregate
+	for _, site := range crep.Sites {
+		agg.Queries += site.Queries
+		agg.Handshakes += site.Handshakes
+		agg.BytesOut += site.BytesOut
+		agg.Latencies = append(agg.Latencies, site.Latencies...)
+	}
+	agg.Duration = end
+	if end > 0 {
+		agg.CPUPercent = 100 * busy.Seconds() / (end.Seconds() * float64(dcfg.Cores) * float64(k))
+	}
+	// Every site samples at the same virtual instants, so the aggregate
+	// series is a samplewise sum over site 0's timeline.
+	for j, at := range crep.Sites[0].Memory.Times {
+		var mem, est, tw, bw float64
+		for _, site := range crep.Sites {
+			mem += site.Memory.Values[j]
+			est += site.Established.Values[j]
+			tw += site.TimeWait.Values[j]
+			bw += site.Bandwidth.Values[j]
+		}
+		agg.Memory.Add(at, mem)
+		agg.Established.Add(at, est)
+		agg.TimeWait.Add(at, tw)
+		agg.Bandwidth.Add(at, bw)
+	}
+	return crep
+}

@@ -1,0 +1,311 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"ldplayer/internal/mutate"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/workload"
+)
+
+func clusterTrace(t *testing.T, seed int64) *trace.Trace {
+	t.Helper()
+	tr := workload.BRootModel(workload.BRootConfig{
+		Duration: 2 * time.Minute, MedianRate: 150, Clients: 400, Seed: seed,
+	})
+	allTCP, err := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return allTCP
+}
+
+// TestClusterSingleSiteIdenticalToRun pins the calibration guarantee: a
+// 1-site cluster — under any routing policy, since every policy folds
+// to site 0 — produces byte-identical reports to the single-server Run
+// path, so the Fig 13/14 reproductions cannot drift when the cluster
+// engine changes.
+func TestClusterSingleSiteIdenticalToRun(t *testing.T) {
+	tr := clusterTrace(t, 21)
+	scfg := ServerConfig{IdleTimeout: 15 * time.Second, Seed: 9}
+	single := Run(tr, RunConfig{
+		Server: scfg, SampleEvery: 20 * time.Second, KeepLatencies: true,
+	})
+	want, err := json.Marshal(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := map[string]RoutePolicy{
+		"nil":      nil,
+		"static":   NewStaticCatchment(0),
+		"nearest":  NewNearestRTT(1, SiteEmpiricalRTT(3)),
+		"weighted": UniformCatchment(1, 5),
+	}
+	for name, pol := range policies {
+		crep := RunCluster(tr, RunClusterConfig{
+			ClusterConfig: ClusterConfig{Sites: 1, Server: scfg, Route: pol},
+			SampleEvery:   20 * time.Second,
+			KeepLatencies: true,
+		})
+		got, err := json.Marshal(crep.Sites[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("policy %s: k=1 site report differs from Run\n run: %.200s\nsite: %.200s",
+				name, want, got)
+		}
+		// The aggregate of a 1-site cluster is the site itself.
+		if crep.Aggregate.Queries != single.Queries || crep.Aggregate.BytesOut != single.BytesOut {
+			t.Errorf("policy %s: aggregate (%d q, %d B) != run (%d q, %d B)", name,
+				crep.Aggregate.Queries, crep.Aggregate.BytesOut, single.Queries, single.BytesOut)
+		}
+	}
+}
+
+// TestClusterDeterminism: same trace + same policy + any site count ⇒
+// identical per-site reports across runs (the Sim's (at, seq) ordering
+// discipline, as TestParallelDeterminism pins for the zone parser).
+func TestClusterDeterminism(t *testing.T) {
+	tr := clusterTrace(t, 23)
+	for _, sites := range []int{1, 2, 4} {
+		for _, fleet := range []*FleetConfig{nil, {Resolvers: 3, TTL: time.Minute}} {
+			cfg := RunClusterConfig{
+				ClusterConfig: ClusterConfig{
+					Sites:   sites,
+					Server:  ServerConfig{IdleTimeout: 10 * time.Second, Seed: 2},
+					Route:   UniformCatchment(sites, 7),
+					Fleet:   fleet,
+					SiteRTT: SiteEmpiricalRTT(31),
+				},
+				SampleEvery:   15 * time.Second,
+				KeepLatencies: true,
+			}
+			a := RunCluster(tr, cfg)
+			b := RunCluster(tr, cfg)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("sites=%d fleet=%v: repeated runs differ", sites, fleet != nil)
+			}
+		}
+	}
+}
+
+func TestStaticCatchment(t *testing.T) {
+	pol := NewStaticCatchment(2,
+		CatchmentEntry{netip.MustParsePrefix("100.64.0.0/16"), 0},
+		CatchmentEntry{netip.MustParsePrefix("100.64.7.0/24"), 1},
+	)
+	cases := map[string]int{
+		"100.64.1.1":  0, // /16 entry
+		"100.64.7.9":  1, // longer /24 wins over the /16
+		"203.0.113.5": 2, // default
+	}
+	for addr, want := range cases {
+		if got := pol.Site(netip.MustParseAddr(addr)); got != want {
+			t.Errorf("Site(%s)=%d want %d", addr, got, want)
+		}
+	}
+}
+
+func TestNearestRTTPolicy(t *testing.T) {
+	rtt := func(src netip.Addr, site int) time.Duration {
+		// Site k is nearest for sources 10.0.0.k; ties elsewhere.
+		if src.As4()[3] == byte(site) {
+			return time.Millisecond
+		}
+		return 50 * time.Millisecond
+	}
+	pol := NewNearestRTT(4, rtt)
+	for k := 0; k < 4; k++ {
+		src := netip.MustParseAddr(fmt.Sprintf("10.0.0.%d", k))
+		if got := pol.Site(src); got != k {
+			t.Errorf("Site(10.0.0.%d)=%d want %d", k, got, k)
+		}
+	}
+	// All sites equidistant: the tie breaks to the lowest index.
+	if got := pol.Site(netip.MustParseAddr("10.0.0.200")); got != 0 {
+		t.Errorf("tie broke to %d, want 0", got)
+	}
+}
+
+func TestWeightedCatchment(t *testing.T) {
+	pol := NewWeightedCatchment([]float64{3, 1}, 11)
+	n0, n1 := 0, 0
+	for i := 0; i < 4000; i++ {
+		src := netip.AddrFrom4([4]byte{100, 64, byte(i >> 8), byte(i)})
+		s := pol.Site(src)
+		// Stability: the same source always routes the same way.
+		if again := pol.Site(src); again != s {
+			t.Fatalf("source %s flapped %d -> %d", src, s, again)
+		}
+		switch s {
+		case 0:
+			n0++
+		case 1:
+			n1++
+		default:
+			t.Fatalf("site %d out of range", s)
+		}
+	}
+	share := float64(n0) / 4000
+	if share < 0.70 || share > 0.80 {
+		t.Errorf("site 0 share %.3f; want ~0.75 for 3:1 weights", share)
+	}
+	// Degenerate weights fall back to a uniform split.
+	uni := NewWeightedCatchment([]float64{0, -2, 0}, 11)
+	seen := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		seen[uni.Site(netip.AddrFrom4([4]byte{100, 65, byte(i >> 8), byte(i)}))]++
+	}
+	for s := 0; s < 3; s++ {
+		if seen[s] < 700 {
+			t.Errorf("uniform fallback: site %d got %d of 3000", s, seen[s])
+		}
+	}
+}
+
+// TestClusterSpreadsLoad: with k sites and a uniform catchment, every
+// site serves part of the trace, queries are conserved, and per-site
+// connection state shrinks versus the single-server run.
+func TestClusterSpreadsLoad(t *testing.T) {
+	tr := clusterTrace(t, 29)
+	scfg := ServerConfig{IdleTimeout: 20 * time.Second, Seed: 4}
+	single := Run(tr, RunConfig{Server: scfg, SampleEvery: 15 * time.Second})
+	const k = 4
+	crep := RunCluster(tr, RunClusterConfig{
+		ClusterConfig: ClusterConfig{Sites: k, Server: scfg, Route: UniformCatchment(k, 17)},
+		SampleEvery:   15 * time.Second,
+	})
+	var sum uint64
+	warm := time.Minute
+	for i, site := range crep.Sites {
+		if site.Queries == 0 {
+			t.Errorf("site %d served no queries", i)
+		}
+		sum += site.Queries
+		if est := site.Established.SteadyState(warm).Max; est >= single.Established.SteadyState(warm).Max {
+			t.Errorf("site %d peak established %.0f not below single-server %.0f",
+				i, est, single.Established.SteadyState(warm).Max)
+		}
+	}
+	if sum != single.Queries || crep.Aggregate.Queries != single.Queries {
+		t.Errorf("queries not conserved: sites=%d aggregate=%d single=%d",
+			sum, crep.Aggregate.Queries, single.Queries)
+	}
+	// Aggregate series are samplewise sums over the sites.
+	for j := range crep.Aggregate.Established.Values {
+		var want float64
+		for _, site := range crep.Sites {
+			want += site.Established.Values[j]
+		}
+		if got := crep.Aggregate.Established.Values[j]; got != want {
+			t.Fatalf("aggregate sample %d = %v want %v", j, got, want)
+		}
+	}
+	// k sites hold k base allocations of memory: aggregate above 1-site.
+	if agg := crep.Aggregate.Memory.Last(); agg <= single.Memory.Last() {
+		t.Errorf("aggregate memory %.0f not above single-site %.0f", agg, single.Memory.Last())
+	}
+}
+
+// TestClusterFleet covers the resolver layer: sticky client→resolver
+// assignment, cache hits that never reach a site, shared caches
+// out-hitting partitioned ones, and TTL expiry.
+func TestClusterFleet(t *testing.T) {
+	tr := clusterTrace(t, 31)
+	run := func(partitioned bool) *ClusterReport {
+		return RunCluster(tr, RunClusterConfig{
+			ClusterConfig: ClusterConfig{
+				Sites:  2,
+				Server: ServerConfig{IdleTimeout: 20 * time.Second, Seed: 6},
+				Route:  UniformCatchment(2, 19),
+				Fleet:  &FleetConfig{Resolvers: 4, Partitioned: partitioned, TTL: 5 * time.Minute},
+			},
+			SampleEvery:   30 * time.Second,
+			KeepLatencies: true,
+		})
+	}
+	shared, part := run(false), run(true)
+	for name, rep := range map[string]*ClusterReport{"shared": shared, "partitioned": part} {
+		if rep.Fleet == nil {
+			t.Fatalf("%s: no fleet report", name)
+		}
+		total := rep.Fleet.Hits + rep.Fleet.Misses
+		var siteQ uint64
+		for _, s := range rep.Sites {
+			siteQ += s.Queries
+		}
+		if siteQ != rep.Fleet.Misses {
+			t.Errorf("%s: sites served %d queries, fleet forwarded %d", name, siteQ, rep.Fleet.Misses)
+		}
+		if total == 0 || rep.Fleet.Hits == 0 {
+			t.Errorf("%s: hits=%d misses=%d; want a mixed workload", name, rep.Fleet.Hits, rep.Fleet.Misses)
+		}
+	}
+	// A shared cache sees every resolver's fills, so it cannot hit less.
+	if shared.Fleet.HitRate() < part.Fleet.HitRate() {
+		t.Errorf("shared hit rate %.3f below partitioned %.3f",
+			shared.Fleet.HitRate(), part.Fleet.HitRate())
+	}
+	// Hit samples: site -1, never fresh, latency = client RTT (1 ms).
+	hits := 0
+	for _, l := range shared.Aggregate.Latencies {
+		if l.Site == -1 {
+			hits++
+			if l.Fresh || l.Latency != time.Millisecond {
+				t.Fatalf("cache-hit sample fresh=%v latency=%v", l.Fresh, l.Latency)
+			}
+		}
+	}
+	if uint64(hits) != shared.Fleet.Hits {
+		t.Errorf("hit samples=%d, fleet counted %d", hits, shared.Fleet.Hits)
+	}
+}
+
+// TestFleetTTLExpiry drives the fleet directly: the same question asked
+// again within the TTL hits; asked after expiry it misses and refills.
+func TestFleetTTLExpiry(t *testing.T) {
+	sim := New()
+	cl := NewCluster(sim, ClusterConfig{
+		Sites:  1,
+		Server: ServerConfig{Seed: 1, NagleTailProb: -1},
+		Fleet:  &FleetConfig{Resolvers: 1, TTL: 30 * time.Second},
+	})
+	ev := mkEvent("100.64.0.1:5000", trace.UDP, 0)
+	if _, site, _ := cl.Query(ev); site != 0 {
+		t.Fatalf("first query: site=%d want 0 (miss)", site)
+	}
+	if _, site, _ := cl.Query(ev); site != -1 {
+		t.Fatalf("second query: site=%d want -1 (cache hit)", site)
+	}
+	sim.At(31*time.Second, func() {
+		if _, site, _ := cl.Query(ev); site != 0 {
+			t.Errorf("post-TTL query: site=%d want 0 (expired)", site)
+		}
+	})
+	sim.Run(0)
+	fr := cl.FleetReport()
+	if fr.Hits != 1 || fr.Misses != 2 {
+		t.Errorf("hits=%d misses=%d want 1/2", fr.Hits, fr.Misses)
+	}
+}
+
+// TestClusterOutOfRangePolicy: a policy built for more sites than the
+// cluster has folds into range instead of panicking.
+func TestClusterOutOfRangePolicy(t *testing.T) {
+	sim := New()
+	cl := NewCluster(sim, ClusterConfig{Sites: 2, Server: ServerConfig{Seed: 1},
+		Route: UniformCatchment(8, 3)})
+	for i := 0; i < 64; i++ {
+		ev := mkEvent(fmt.Sprintf("100.64.9.%d:5000", i), trace.UDP, 0)
+		if _, site, _ := cl.Query(ev); site < 0 || site > 1 {
+			t.Fatalf("site %d out of range", site)
+		}
+	}
+}

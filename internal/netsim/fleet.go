@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// FleetConfig interposes a fleet of recursive resolvers between the
+// trace's clients and the authoritative replicas — the ZDNS-style
+// "many concurrent resolvers" layer. Each client source hashes to one
+// resolver (stub configurations are sticky); the resolver answers from
+// its cache when it can and otherwise forwards the query to the site
+// its own address routes to, so what the replicas see is the fleet's
+// cache-miss stream over a handful of long-lived resolver connections
+// rather than millions of client flows.
+type FleetConfig struct {
+	// Resolvers is the fleet size M (default 4).
+	Resolvers int
+	// Partitioned gives each resolver a private cache; the default is
+	// one cache shared fleet-wide (an anycast resolver service with a
+	// shared backend, vs. independent resolver boxes).
+	Partitioned bool
+	// TTL is how long a cached answer satisfies later queries for the
+	// same question (default 5 minutes).
+	TTL time.Duration
+	// ClientRTT is the client-to-resolver round trip (resolvers sit
+	// near clients); nil means a constant 1 ms.
+	ClientRTT func(src netip.Addr) time.Duration
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Resolvers <= 0 {
+		c.Resolvers = 4
+	}
+	if c.TTL <= 0 {
+		c.TTL = 5 * time.Minute
+	}
+	if c.ClientRTT == nil {
+		c.ClientRTT = func(netip.Addr) time.Duration { return time.Millisecond }
+	}
+	return c
+}
+
+// FleetReport summarizes the resolver layer of a cluster run.
+type FleetReport struct {
+	Resolvers   int
+	Partitioned bool
+	Hits        uint64 // queries answered from resolver cache
+	Misses      uint64 // queries forwarded to an authoritative site
+	// HitsByResolver / MissesByResolver split the totals per resolver.
+	HitsByResolver   []uint64
+	MissesByResolver []uint64
+}
+
+// HitRate is Hits over all client queries through the fleet.
+func (r *FleetReport) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// fleetSalt keeps the client→resolver hash independent of the routing
+// policies' address draws.
+const fleetSalt = 0x1df7
+
+// fleet is the runtime state behind FleetConfig.
+type fleet struct {
+	cfg    FleetConfig
+	addrs  []netip.Addr   // resolver source addresses, as the sites see them
+	caches []fleetCache   // len 1 when shared, len M when partitioned
+	fwd    []*trace.Event // per-resolver scratch event for forwarded queries
+	rep    *FleetReport
+}
+
+// fleetCache maps a question key to the virtual time its cached answer
+// expires. Expired entries are overwritten on the next miss for the
+// same question; there is no eviction sweep — a simulated run's working
+// set is the trace's unique-question count, which fits comfortably.
+type fleetCache map[string]time.Duration
+
+func newFleet(cfg FleetConfig) *fleet {
+	cfg = cfg.withDefaults()
+	f := &fleet{
+		cfg:   cfg,
+		addrs: make([]netip.Addr, cfg.Resolvers),
+		fwd:   make([]*trace.Event, cfg.Resolvers),
+		rep: &FleetReport{
+			Resolvers:        cfg.Resolvers,
+			Partitioned:      cfg.Partitioned,
+			HitsByResolver:   make([]uint64, cfg.Resolvers),
+			MissesByResolver: make([]uint64, cfg.Resolvers),
+		},
+	}
+	for r := range f.addrs {
+		// Deterministic resolver addresses in a block no workload
+		// generator uses for clients.
+		f.addrs[r] = netip.AddrFrom4([4]byte{10, 99, byte(r >> 8), byte(r)})
+		f.fwd[r] = &trace.Event{Src: netip.AddrPortFrom(f.addrs[r], 53)}
+	}
+	n := 1
+	if cfg.Partitioned {
+		n = cfg.Resolvers
+	}
+	f.caches = make([]fleetCache, n)
+	for i := range f.caches {
+		f.caches[i] = make(fleetCache)
+	}
+	return f
+}
+
+// resolverFor hashes a client source to its sticky resolver.
+func (f *fleet) resolverFor(src netip.Addr) int {
+	return int(addrUniform(src, fleetSalt) * float64(len(f.addrs)))
+}
+
+// cacheFor returns resolver r's cache (the shared one unless
+// partitioned).
+func (f *fleet) cacheFor(r int) fleetCache {
+	if f.cfg.Partitioned {
+		return f.caches[r]
+	}
+	return f.caches[0]
+}
+
+// queryKey keys the cache on everything after the 12-byte header — the
+// question section plus any EDNS OPT, so DO and non-DO forms of the
+// same question cache separately (their answers differ).
+func queryKey(wire []byte) string {
+	if len(wire) > 12 {
+		return string(wire[12:])
+	}
+	return string(wire)
+}
+
+// query runs one client query through the fleet. A cache hit costs the
+// client one client-resolver round trip and never reaches a site
+// (site = -1). A miss additionally pays the resolver's query against
+// the site its address routes to, over the resolver's (long-lived,
+// mostly reused) connection.
+func (f *fleet) query(c *Cluster, ev *trace.Event) (latency time.Duration, site int, fresh bool) {
+	src := ev.Src.Addr()
+	r := f.resolverFor(src)
+	base := f.cfg.ClientRTT(src)
+	key := queryKey(ev.Wire)
+	cache := f.cacheFor(r)
+	if exp, ok := cache[key]; ok && exp > c.sim.Now() {
+		f.rep.Hits++
+		f.rep.HitsByResolver[r]++
+		return base, -1, false
+	}
+	f.rep.Misses++
+	f.rep.MissesByResolver[r]++
+	fev := f.fwd[r]
+	fev.Time, fev.Proto, fev.Wire = ev.Time, ev.Proto, ev.Wire
+	site = c.siteFor(f.addrs[r])
+	upstream, wasFresh := c.sites[site].Query(fev, c.rtt(f.addrs[r], site))
+	cache[key] = c.sim.Now() + f.cfg.TTL
+	return base + upstream, site, wasFresh
+}

@@ -157,10 +157,11 @@ func NewServer(sim *Sim, cfg ServerConfig) *Server {
 }
 
 // Query simulates one query from a client at the given RTT, returning
-// the client-observed latency. Scheduling of server-side accounting
-// happens on the sim's virtual clock; the caller invokes Query at the
-// query's trace time.
-func (s *Server) Query(ev *trace.Event, rtt time.Duration) (latency time.Duration) {
+// the client-observed latency and whether the query paid a connection
+// handshake (a "fresh" connection; always false for connectionless
+// UDP). Scheduling of server-side accounting happens on the sim's
+// virtual clock; the caller invokes Query at the query's trace time.
+func (s *Server) Query(ev *trace.Event, rtt time.Duration) (latency time.Duration, fresh bool) {
 	respBytes := 100
 	if s.cfg.Responder != nil {
 		respBytes = s.cfg.Responder(ev)
@@ -171,11 +172,11 @@ func (s *Server) Query(ev *trace.Event, rtt time.Duration) (latency time.Duratio
 	switch ev.Proto {
 	case trace.UDP:
 		s.cpu(s.cfg.Costs.UDPQuery)
-		return rtt
+		return rtt, false
 	case trace.TCP, trace.TLS:
 		isTLS := ev.Proto == trace.TLS
 		st := s.conns[ev.Src.Addr()]
-		fresh := st == nil || !st.open
+		fresh = st == nil || !st.open
 		if fresh {
 			if st == nil {
 				st = &connState{}
@@ -206,9 +207,9 @@ func (s *Server) Query(ev *trace.Event, rtt time.Duration) (latency time.Duratio
 		}
 		st.lastUse = s.sim.Now()
 		s.armIdleClose(st)
-		return latency
+		return latency, fresh
 	}
-	return rtt
+	return rtt, false
 }
 
 // armIdleClose schedules (or reschedules) the idle-timeout check.

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"encoding/json"
+	"math"
 	"net/netip"
 	"testing"
 	"time"
@@ -66,9 +68,12 @@ func TestUDPLatencyIsOneRTT(t *testing.T) {
 	sim := New()
 	srv := NewServer(sim, ServerConfig{})
 	ev := mkEvent("10.0.0.1:5000", trace.UDP, 0)
-	lat := srv.Query(ev, 100*time.Millisecond)
+	lat, fresh := srv.Query(ev, 100*time.Millisecond)
 	if lat != 100*time.Millisecond {
 		t.Errorf("UDP latency=%v want 1 RTT", lat)
+	}
+	if fresh {
+		t.Error("UDP query marked fresh; UDP has no connections")
 	}
 }
 
@@ -77,16 +82,16 @@ func TestTCPFreshVersusReused(t *testing.T) {
 	srv := NewServer(sim, ServerConfig{IdleTimeout: 20 * time.Second, NagleTailProb: -1})
 	rtt := 100 * time.Millisecond
 	ev := mkEvent("10.0.0.1:5000", trace.TCP, 0)
-	if lat := srv.Query(ev, rtt); lat != 2*rtt {
-		t.Errorf("fresh TCP latency=%v want 2 RTT", lat)
+	if lat, fresh := srv.Query(ev, rtt); lat != 2*rtt || !fresh {
+		t.Errorf("fresh TCP latency=%v fresh=%v want 2 RTT, fresh", lat, fresh)
 	}
 	if srv.Established() != 1 {
 		t.Errorf("established=%d", srv.Established())
 	}
 	// Within the idle window: reuse at 1 RTT, no new handshake.
 	sim.Run(5 * time.Second)
-	if lat := srv.Query(ev, rtt); lat != rtt {
-		t.Errorf("reused TCP latency=%v want 1 RTT", lat)
+	if lat, fresh := srv.Query(ev, rtt); lat != rtt || fresh {
+		t.Errorf("reused TCP latency=%v fresh=%v want 1 RTT, reused", lat, fresh)
 	}
 	if srv.Handshakes() != 1 {
 		t.Errorf("handshakes=%d", srv.Handshakes())
@@ -98,8 +103,8 @@ func TestTLSFreshIsFourRTT(t *testing.T) {
 	srv := NewServer(sim, ServerConfig{NagleTailProb: -1})
 	rtt := 50 * time.Millisecond
 	ev := mkEvent("10.0.0.2:5000", trace.TLS, 0)
-	if lat := srv.Query(ev, rtt); lat != 4*rtt {
-		t.Errorf("fresh TLS latency=%v want 4 RTT", lat)
+	if lat, fresh := srv.Query(ev, rtt); lat != 4*rtt || !fresh {
+		t.Errorf("fresh TLS latency=%v fresh=%v want 4 RTT, fresh", lat, fresh)
 	}
 }
 
@@ -246,6 +251,100 @@ func TestRunLatenciesCollected(t *testing.T) {
 	}
 	if s.P50 < 0.099 || s.P50 > 0.101 {
 		t.Errorf("median=%v want ~0.1s (reused, 1 RTT)", s.P50)
+	}
+}
+
+// TestRunLatencyFreshBit is the regression test for the declared-but-
+// never-populated LatencySample.Fresh field: the fresh-connection bit
+// must flow out of Server.Query so Fig 15-style fresh-vs-reused splits
+// are distinguishable in Run output.
+func TestRunLatencyFreshBit(t *testing.T) {
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: 50 * time.Millisecond, Duration: 2 * time.Second, Clients: 4, Seed: 3,
+	})
+	allTCP, err := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := 100 * time.Millisecond
+	rep := Run(allTCP, RunConfig{
+		Server:        ServerConfig{Seed: 2, NagleTailProb: -1},
+		RTT:           ConstantRTT(rtt),
+		KeepLatencies: true,
+	})
+	freshCount := 0
+	for _, l := range rep.Latencies {
+		if l.Fresh {
+			freshCount++
+			if l.Latency != 2*rtt {
+				t.Errorf("fresh sample latency=%v want 2 RTT", l.Latency)
+			}
+		} else if l.Latency != rtt {
+			t.Errorf("reused sample latency=%v want 1 RTT", l.Latency)
+		}
+	}
+	// Each of the 4 clients handshakes exactly once (inter-arrival far
+	// below the idle timeout keeps connections warm).
+	if freshCount != 4 {
+		t.Errorf("fresh samples=%d want 4 (one per client)", freshCount)
+	}
+}
+
+// TestRunSingleEventTrace is the regression test for CPUPercent
+// dividing by a zero duration: a one-event trace must report 0, not
+// NaN (which would also poison JSON encoding of the report).
+func TestRunSingleEventTrace(t *testing.T) {
+	tr := &trace.Trace{Events: []*trace.Event{mkEvent("10.0.0.1:5000", trace.UDP, 0)}}
+	rep := Run(tr, RunConfig{Server: ServerConfig{Seed: 1}})
+	if rep.Queries != 1 {
+		t.Fatalf("queries=%d", rep.Queries)
+	}
+	if math.IsNaN(rep.CPUPercent) || rep.CPUPercent != 0 {
+		t.Errorf("CPUPercent=%v want 0 for a zero-duration trace", rep.CPUPercent)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report not JSON-encodable: %v", err)
+	}
+}
+
+// TestRunSamplesDrainWindow is the regression test for the sampler
+// stopping at the last query: the drain window (idle close + TIME_WAIT
+// expiry) must be sampled, or the Fig 13 TIME_WAIT decay tail is
+// silently missing from the series.
+func TestRunSamplesDrainWindow(t *testing.T) {
+	tr := workload.Synthetic(workload.SyntheticConfig{
+		InterArrival: time.Second, Duration: time.Minute, Clients: 5, Seed: 7,
+	})
+	allTCP, err := mutate.Apply(tr, mutate.ForceProtocol(trace.TCP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, tw := 10*time.Second, 60*time.Second
+	rep := Run(allTCP, RunConfig{
+		Server:      ServerConfig{IdleTimeout: idle, TimeWait: tw, Seed: 1, NagleTailProb: -1},
+		SampleEvery: 5 * time.Second,
+	})
+	end := rep.Duration
+	last := rep.TimeWait.Times[len(rep.TimeWait.Times)-1]
+	if last < end+idle+tw {
+		t.Fatalf("last sample at %v; want sampling through end (%v) + drain (%v)", last, end, idle+tw)
+	}
+	// The decay tail itself: TIME_WAIT is positive after the idle close
+	// and back to zero by the end of the drain window.
+	sawPeak := false
+	for i, at := range rep.TimeWait.Times {
+		if at > end && rep.TimeWait.Values[i] > 0 {
+			sawPeak = true
+		}
+	}
+	if !sawPeak {
+		t.Error("no positive TIME_WAIT sample in the drain window")
+	}
+	if got := rep.TimeWait.Last(); got != 0 {
+		t.Errorf("TIME_WAIT at end of drain=%v want 0 (fully decayed)", got)
+	}
+	if got := rep.Established.Last(); got != 0 {
+		t.Errorf("established at end of drain=%v want 0", got)
 	}
 }
 

@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// RoutePolicy decides which anycast site a client's packets reach — the
+// site's "catchment" in BGP terms. Policies must be pure functions of
+// the source address: a real anycast catchment is stable on the
+// timescale of a trace, and determinism is what makes cluster runs
+// reproducible (same trace + same policy + same site count ⇒ identical
+// reports). A policy returning an out-of-range site is folded into
+// [0, sites) by Euclidean modulo rather than panicking, so a policy
+// built for a larger cluster degrades gracefully.
+type RoutePolicy interface {
+	// Site returns the site index serving src.
+	Site(src netip.Addr) int
+	// Name identifies the policy in reports and experiment rows.
+	Name() string
+}
+
+// singleSite is the nil-policy default: every source reaches site 0,
+// which makes a 1-site cluster behave exactly like the single-server
+// Run path.
+type singleSite struct{}
+
+func (singleSite) Site(netip.Addr) int { return 0 }
+func (singleSite) Name() string        { return "single-site" }
+
+// CatchmentEntry maps one source prefix to a site.
+type CatchmentEntry struct {
+	Prefix netip.Prefix
+	Site   int
+}
+
+// StaticCatchment routes by a fixed prefix table — the form an operator
+// writes down from real BGP catchment measurements ("this /8 lands on
+// LAX, that one on AMS"). Longest matching prefix wins; sources
+// matching nothing go to the default site.
+type StaticCatchment struct {
+	entries     []CatchmentEntry
+	defaultSite int
+}
+
+// NewStaticCatchment builds a static catchment table.
+func NewStaticCatchment(defaultSite int, entries ...CatchmentEntry) *StaticCatchment {
+	return &StaticCatchment{entries: entries, defaultSite: defaultSite}
+}
+
+// Site implements RoutePolicy by longest-prefix match.
+func (c *StaticCatchment) Site(src netip.Addr) int {
+	best, bestBits := c.defaultSite, -1
+	for _, e := range c.entries {
+		if e.Prefix.Contains(src) && e.Prefix.Bits() > bestBits {
+			best, bestBits = e.Site, e.Prefix.Bits()
+		}
+	}
+	return best
+}
+
+// Name implements RoutePolicy.
+func (c *StaticCatchment) Name() string {
+	return fmt.Sprintf("static(%d entries)", len(c.entries))
+}
+
+// NearestRTT routes each source to the site with the lowest RTT — the
+// idealized anycast assumption that BGP carries packets to the
+// topologically closest replica. Ties break to the lowest site index.
+// The rtt function should be the same one the cluster run charges for
+// the chosen site, so routing and latency accounting agree.
+type NearestRTT struct {
+	sites int
+	rtt   func(src netip.Addr, site int) time.Duration
+}
+
+// NewNearestRTT builds the nearest-site policy over sites replicas.
+func NewNearestRTT(sites int, rtt func(src netip.Addr, site int) time.Duration) *NearestRTT {
+	if sites < 1 {
+		sites = 1
+	}
+	return &NearestRTT{sites: sites, rtt: rtt}
+}
+
+// Site implements RoutePolicy by RTT argmin.
+func (p *NearestRTT) Site(src netip.Addr) int {
+	best, bestRTT := 0, p.rtt(src, 0)
+	for i := 1; i < p.sites; i++ {
+		if r := p.rtt(src, i); r < bestRTT {
+			best, bestRTT = i, r
+		}
+	}
+	return best
+}
+
+// Name implements RoutePolicy.
+func (p *NearestRTT) Name() string { return fmt.Sprintf("nearest-rtt(%d)", p.sites) }
+
+// WeightedCatchment splits sources across sites in proportion to
+// per-site weights, by hashing each source to a stable uniform draw —
+// the shape of a catchment controlled with BGP prepending or per-site
+// capacity. A given source always lands on the same site (its
+// connection state must not flap between replicas mid-trace).
+type WeightedCatchment struct {
+	cum  []float64 // cumulative weight fractions, last = 1
+	seed int64
+}
+
+// NewWeightedCatchment builds the weighted policy; non-positive weights
+// count as zero, and all-zero weights degrade to a uniform split.
+func NewWeightedCatchment(weights []float64, seed int64) *WeightedCatchment {
+	if len(weights) == 0 {
+		weights = []float64{1}
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		if total > 0 {
+			if w > 0 {
+				acc += w / total
+			}
+		} else {
+			acc += 1 / float64(len(weights))
+		}
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // absorb rounding so the top bucket is closed
+	return &WeightedCatchment{cum: cum, seed: seed}
+}
+
+// UniformCatchment is an equal-weight WeightedCatchment over k sites.
+func UniformCatchment(sites int, seed int64) *WeightedCatchment {
+	if sites < 1 {
+		sites = 1
+	}
+	w := make([]float64, sites)
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWeightedCatchment(w, seed)
+}
+
+// Site implements RoutePolicy via a stable per-source hash draw.
+func (p *WeightedCatchment) Site(src netip.Addr) int {
+	u := addrUniform(src, p.seed)
+	for i, c := range p.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(p.cum) - 1
+}
+
+// Name implements RoutePolicy.
+func (p *WeightedCatchment) Name() string { return fmt.Sprintf("weighted(%d)", len(p.cum)) }
+
+// SiteEmpiricalRTT extends EmpiricalRTT to a cluster: each (source,
+// site) pair draws a stable RTT from the same near/continental/far
+// mixture, with the site index salting the draw. Feeding the same
+// function to NewNearestRTT and to RunClusterConfig.SiteRTT yields a
+// self-consistent anycast world: every client is near at least one
+// site, and the routing policy finds it.
+func SiteEmpiricalRTT(seed int64) func(src netip.Addr, site int) time.Duration {
+	return func(src netip.Addr, site int) time.Duration {
+		s := seed + 2*int64(site)
+		return empiricalRTTFrom(addrUniform(src, s), addrUniform(src, s+1))
+	}
+}

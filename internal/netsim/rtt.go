@@ -25,19 +25,24 @@ func ConstantRTT(rtt time.Duration) func(netip.Addr) time.Duration {
 // stability.
 func EmpiricalRTT(seed int64) func(netip.Addr) time.Duration {
 	return func(src netip.Addr) time.Duration {
-		u1 := addrUniform(src, seed)
-		u2 := addrUniform(src, seed+1)
-		var ms float64
-		switch {
-		case u1 < 0.30:
-			ms = 5 + 20*u2
-		case u1 < 0.80:
-			ms = 25 + 70*u2
-		default:
-			ms = 95 + 155*u2
-		}
-		return time.Duration(ms * float64(time.Millisecond))
+		return empiricalRTTFrom(addrUniform(src, seed), addrUniform(src, seed+1))
 	}
+}
+
+// empiricalRTTFrom maps two uniforms through the near/continental/far
+// mixture (shared by the single-server EmpiricalRTT and the cluster's
+// SiteEmpiricalRTT).
+func empiricalRTTFrom(u1, u2 float64) time.Duration {
+	var ms float64
+	switch {
+	case u1 < 0.30:
+		ms = 5 + 20*u2
+	case u1 < 0.80:
+		ms = 25 + 70*u2
+	default:
+		ms = 95 + 155*u2
+	}
+	return time.Duration(ms * float64(time.Millisecond))
 }
 
 // LogNormalRTT draws per-source RTTs from a log-normal distribution

@@ -25,11 +25,16 @@ type RunConfig struct {
 }
 
 // LatencySample pairs a query's latency with its source and transport.
+// Fresh marks queries that paid a connection handshake (always false
+// for UDP), the split Fig 15 draws. Site is the anycast site that
+// served the query: 0 for single-server runs, -1 for a resolver-fleet
+// cache hit that never reached a site.
 type LatencySample struct {
 	Src     netip.Addr
 	Proto   trace.Proto
 	Latency time.Duration
 	Fresh   bool
+	Site    int
 }
 
 // RunReport is everything the §5 figures need from one simulated run.
@@ -50,73 +55,21 @@ type RunReport struct {
 }
 
 // Run replays a trace through the simulated server and collects the
-// report. Event times are taken relative to the first event.
+// report. Event times are taken relative to the first event. It is a
+// 1-site cluster run with no fleet: RunCluster is the one simulation
+// engine, and TestClusterSingleSiteIdenticalToRun pins the equivalence
+// so the Fig 13/14 reproductions cannot drift from the cluster path.
 func Run(tr *trace.Trace, cfg RunConfig) *RunReport {
-	rep := &RunReport{}
-	if len(tr.Events) == 0 {
-		return rep
+	var siteRTT func(src netip.Addr, site int) time.Duration
+	if cfg.RTT != nil {
+		siteRTT = func(src netip.Addr, _ int) time.Duration { return cfg.RTT(src) }
 	}
-	if cfg.SampleEvery <= 0 {
-		cfg.SampleEvery = time.Minute
-	}
-	rtt := cfg.RTT
-	if rtt == nil {
-		rtt = func(netip.Addr) time.Duration { return time.Millisecond }
-	}
-
-	sim := New()
-	srv := NewServer(sim, cfg.Server)
-	start := tr.Events[0].Time
-	end := tr.Events[len(tr.Events)-1].Time.Sub(start)
-
-	// Periodic resource sampling.
-	var lastBytes uint64
-	var sample func()
-	sample = func() {
-		at := sim.Now()
-		rep.Memory.Add(at, float64(srv.MemoryBytes()))
-		rep.Established.Add(at, float64(srv.Established()))
-		rep.TimeWait.Add(at, float64(srv.TimeWait()))
-		cur := srv.BytesOut()
-		rep.Bandwidth.Add(at, float64(cur-lastBytes)*8/cfg.SampleEvery.Seconds())
-		lastBytes = cur
-		if at < end {
-			sim.After(cfg.SampleEvery, sample)
-		}
-	}
-	sim.After(cfg.SampleEvery, sample)
-
-	// Schedule every query at its trace offset. One handler bound once +
-	// AtArg per event keeps scheduling allocation-free per query (a
-	// million-query trace used to cost a closure each).
-	runQuery := func(a any) {
-		ev := a.(*trace.Event)
-		r := rtt(ev.Src.Addr())
-		lat := srv.Query(ev, r)
-		if cfg.KeepLatencies {
-			rep.Latencies = append(rep.Latencies, LatencySample{
-				Src: ev.Src.Addr(), Proto: ev.Proto, Latency: lat,
-			})
-		}
-	}
-	for _, ev := range tr.Events {
-		if !ev.IsQuery() {
-			continue
-		}
-		sim.AtArg(ev.Time.Sub(start), runQuery, ev)
-	}
-
-	// Run past the end so idle closes and TIME_WAIT drains are observed
-	// (one idle timeout + one TIME_WAIT period beyond the last query).
-	drain := cfg.Server.withDefaults().IdleTimeout + cfg.Server.withDefaults().TimeWait
-	sim.Run(end + drain)
-
-	rep.CPUPercent = 100 * srv.cpuBusy.Seconds() / (end.Seconds() * float64(srv.cfg.Cores))
-	rep.Queries = srv.queries
-	rep.Handshakes = srv.handshakes
-	rep.BytesOut = srv.BytesOut()
-	rep.Duration = end
-	return rep
+	crep := RunCluster(tr, RunClusterConfig{
+		ClusterConfig: ClusterConfig{Sites: 1, Server: cfg.Server, SiteRTT: siteRTT},
+		SampleEvery:   cfg.SampleEvery,
+		KeepLatencies: cfg.KeepLatencies,
+	})
+	return crep.Sites[0]
 }
 
 // ResponderFromServer adapts a real authoritative server into the
