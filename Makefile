@@ -27,10 +27,12 @@ vet:
 # Project-specific static analysis: go vet plus ldp-vet, which enforces
 # LDplayer's architectural invariants (transport-only I/O, simulated
 # clock discipline, metric naming, stats atomicity, error checking,
-# mutex/blocking hygiene, message-pool ownership). See DESIGN.md
-# "Static analysis & fuzzing".
+# mutex/blocking hygiene, message-pool ownership, shard confinement,
+# transient-buffer aliasing). -stale also fails on //ldp:nolint
+# comments that no longer suppress anything, so suppressions cannot
+# rot. See DESIGN.md "Static analysis & fuzzing".
 lint: vet
-	$(GO) run ./cmd/ldp-vet -dir .
+	$(GO) run ./cmd/ldp-vet -dir . -stale -time
 
 # Everything CI runs, in one target.
 check: build vet lint test race

@@ -136,7 +136,7 @@ func buildQueries(opts options) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close() //ldp:nolint errcheck — read-only file; Close carries no data-loss signal
+		defer f.Close()
 		var rd trace.Reader
 		if filepath.Ext(opts.trace) == ".txt" {
 			rd = trace.NewTextReader(f)

@@ -2,25 +2,38 @@
 // suite (internal/lint) over the module: architectural invariants the
 // compiler and go vet cannot express — transport-only I/O, deterministic
 // simulation hygiene, obs metric-name discipline, no silently dropped
-// errors, and no mutexes held across blocking I/O.
+// errors, no mutexes held across blocking I/O, pooled-message ownership,
+// shard confinement, and transient-buffer aliasing (bufalias).
 //
 // Usage:
 //
 //	ldp-vet [-dir .] [-checks name,name] [-list]
+//	        [-json | -sarif] [-stale] [-workers n] [-time]
+//
+// Packages load and analyze on a worker pool (-workers, default
+// GOMAXPROCS; output is identical to serial). -json and -sarif switch
+// the report encoding; -sarif emits SARIF 2.1.0 for code-scanning
+// upload. -stale additionally flags //ldp:nolint comments that no
+// longer suppress any finding, so suppressions cannot rot; it requires
+// the full checker set (no -checks). -time logs load/analysis
+// wall-clock to stderr.
 //
 // Exit status is 0 when the tree is clean, 1 when any diagnostic fires,
 // 2 on usage or load errors. Suppress an individual finding with
 //
 //	//ldp:nolint <check> — <justification>
 //
-// on (or directly above) the offending line.
+// on (or directly above) the offending line. Nolint comments naming a
+// check that does not exist are themselves reported (check "nolint").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"ldplayer/internal/lint"
 )
@@ -29,10 +42,25 @@ func main() {
 	dir := flag.String("dir", ".", "module directory to analyze")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.Bool("json", false, "report diagnostics as JSON")
+	sarifOut := flag.Bool("sarif", false, "report diagnostics as SARIF 2.1.0")
+	stale := flag.Bool("stale", false, "also flag //ldp:nolint comments that suppress nothing (requires the full checker set)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel load/analysis workers (1 = serial)")
+	timing := flag.Bool("time", false, "log load and analysis wall-clock to stderr")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
-		fmt.Fprintln(os.Stderr, "usage: ldp-vet [-dir .] [-checks name,name] [-list]")
+		fmt.Fprintln(os.Stderr, "usage: ldp-vet [-dir .] [-checks name,name] [-list] [-json|-sarif] [-stale] [-workers n] [-time]")
+		os.Exit(2)
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "ldp-vet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+	if *stale && *checks != "" {
+		// A suppression that does not fire under a subset may belong to
+		// a skipped checker; the audit is only sound over the full set.
+		fmt.Fprintln(os.Stderr, "ldp-vet: -stale requires the full checker set (drop -checks)")
 		os.Exit(2)
 	}
 
@@ -78,15 +106,38 @@ func main() {
 		checkers = selected
 	}
 
-	pkgs, err := loader.Load()
+	loadStart := time.Now()
+	pkgs, err := loader.LoadParallel(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	loadDur := time.Since(loadStart)
 
-	diags := lint.Run(pkgs, checkers)
-	for _, d := range diags {
-		fmt.Println(d)
+	analyzeStart := time.Now()
+	diags := lint.RunAll(pkgs, checkers, lint.RunConfig{Workers: *workers, Stale: *stale})
+	analyzeDur := time.Since(analyzeStart)
+	if *timing {
+		fmt.Fprintf(os.Stderr, "ldp-vet: workers=%d load=%s analyze=%s (%d packages, %d checkers)\n",
+			*workers, loadDur.Round(time.Millisecond), analyzeDur.Round(time.Millisecond),
+			len(pkgs), len(checkers))
+	}
+
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(os.Stdout, diags, loader.ModuleDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, diags, checkers, loader.ModuleDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ldp-vet: %d finding(s)\n", len(diags))

@@ -13,5 +13,6 @@ func DefaultCheckers(modulePath string) []Checker {
 		MutexBlock{ModulePath: modulePath},
 		PoolReturn{ModulePath: modulePath},
 		ShardConfined{ModulePath: modulePath},
+		BufAlias{ModulePath: modulePath},
 	}
 }

@@ -1,0 +1,787 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared intraprocedural dataflow engine behind the
+// bufalias and poolreturn checkers: one forward propagation pass per
+// function body over the typed AST, tracking which local variables
+// carry a client-defined tag (a taint). The control-flow discipline is
+// the one poolreturn pioneered — scan statement lists in source order,
+// fork branch states with a copy, merge surviving paths as a union (a
+// value counts as tagged afterwards if ANY path tags it, since checks
+// look for the existence of a bad path) — generalized so any checker
+// can define its own sources, derivations, and events.
+//
+// What the engine models:
+//
+//   - Sources: calls whose results carry a fresh tag (dnsmsg.GetMsg,
+//     pcap.Reader.ReadZeroCopy), and calls that tag an argument or the
+//     receiver through a pointer (zone.StreamParser.Next(&rec),
+//     msg.UnpackBuffer(wire)).
+//   - Propagation: assignment and var-declaration def-use chains,
+//     re-slicing, parenthesization, address-of/deref, comma-ok forms,
+//     type assertions, composite literals containing tagged values,
+//     and — when the client opts into derived tracking — struct field
+//     selection, indexing, and range clauses over tagged values, plus
+//     alias-preserving conversions (slice->slice, string->string).
+//   - Copy points: append with a spread of byte content copies bytes
+//     (the result's tag is the base's tag, not the element's); []byte
+//     <-> string conversions copy; any other call returns untagged
+//     values, which makes explicit copy helpers (Packet.Clone,
+//     Rec.RR, Name.Clone, copy into caller storage) clean by default.
+//   - Events: stores whose left side outlives the frame (struct
+//     field, package-level variable, map or slice element), channel
+//     sends, goroutine spawns (free-variable captures and call
+//     arguments), discarded source results, and the exit paths
+//     (return / continue / fall-through) poolreturn audits.
+//
+// Known limits (by design — the pass is intraprocedural): tags do not
+// follow values through call boundaries (a callee that retains its
+// argument is invisible), through channels (the send is the event, the
+// receive comes back clean), or into separately-scanned function-literal
+// bodies; break/goto exit paths are not modeled. DESIGN.md "Static
+// analysis & fuzzing" documents the full lattice and these limits.
+
+// Tag marks a tracked value. Tags are compared by identity: every value
+// derived from one source carries the same *Tag, so releasing or
+// reporting a tag covers all its aliases and diagnostics dedupe at the
+// source.
+type Tag struct {
+	// Origin anchors diagnostics (and //ldp:nolint suppression) at the
+	// source call that introduced the tag.
+	Origin ast.Node
+	// Desc names the source in human terms, e.g. "pcap.Reader.ReadZeroCopy
+	// packet".
+	Desc string
+	// Kind is a client-defined class ("pool", "pcap", "zonetok",
+	// "arena") for clients that treat sources differently.
+	Kind string
+}
+
+// flowState maps variable objects to the tag they currently carry.
+type flowState map[types.Object]*Tag
+
+func (st flowState) clone() flowState {
+	out := make(flowState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// dropTag removes every variable carrying tag (all aliases release
+// together).
+func (st flowState) dropTag(tag *Tag) {
+	for obj, t := range st {
+		if t == tag {
+			delete(st, obj)
+		}
+	}
+}
+
+// tags returns the distinct tags present in the state.
+func (st flowState) tags() map[*Tag]bool {
+	out := make(map[*Tag]bool, len(st))
+	for _, t := range st {
+		out[t] = true
+	}
+	return out
+}
+
+// unionStates merges surviving-path states: tagged on any path means
+// tagged.
+func unionStates(states []flowState) flowState {
+	out := make(flowState)
+	for _, s := range states {
+		for k, v := range s {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// flowAnalysis is one client's configuration of the engine. Hook fields
+// may be nil (no-op). The zero value propagates nothing and reports
+// nothing.
+type flowAnalysis struct {
+	p *Package
+
+	// sourceResults classifies call results: a non-nil return slice has
+	// one entry per result value (nil entries stay untagged).
+	sourceResults func(call *ast.CallExpr) []*Tag
+	// sourceArgs classifies out-parameter sources: the returned map
+	// keys are argument indices tagged by the call; index -1 is the
+	// method receiver.
+	sourceArgs func(call *ast.CallExpr) map[int]*Tag
+
+	// trackDerived enables alias derivation through field selection,
+	// indexing, range clauses, composite literals, and alias-preserving
+	// conversions (bufalias). When false only direct value flow —
+	// assignment, re-slicing, comma-ok — propagates (poolreturn).
+	trackDerived bool
+	// deriveType vetoes derived tags: when set, a derived expression
+	// keeps its base's tag only if deriveType(type) is true. Lets
+	// bufalias prune derivations into types that cannot alias a buffer.
+	deriveType func(t types.Type) bool
+
+	// transferReturn releases tags mentioned in return results
+	// (ownership moves to the caller — poolreturn).
+	transferReturn bool
+	// transferSpawnArgs releases tags passed as direct arguments of go
+	// and defer calls (ownership moves to the spawned body — poolreturn).
+	transferSpawnArgs bool
+
+	// onStmt sees every leaf statement before default propagation;
+	// poolreturn scans these for PutMsg releases.
+	onStmt func(st flowState, s ast.Stmt)
+	// onDiscard fires when a source result is dropped on the floor
+	// (bare call statement or assignment to _).
+	onDiscard func(call *ast.CallExpr, tag *Tag)
+	// onStore fires when a tagged value is stored through a left side
+	// that outlives the statement (field, package var, map or slice
+	// element, deref) or when a tagged map key is used in a store.
+	// lhsKind is one of "field", "package-level variable", "map entry",
+	// "slice element", "dereference", "map key".
+	onStore func(lhs ast.Expr, lhsKind string, rhs ast.Expr, tag *Tag)
+	// onSend fires for a channel send of a tagged value.
+	onSend func(s *ast.SendStmt, tag *Tag)
+	// onCapture fires when a go statement's function literal captures a
+	// tagged free variable, or (id == nil) when a go call takes a
+	// tagged value as a direct argument.
+	onCapture func(g *ast.GoStmt, id *ast.Ident, arg ast.Expr, tag *Tag)
+	// onExit fires at each exit path with the tags still live there:
+	// how is "return", "continue", or "fall-through"; loopTags (for
+	// continue) holds the tags that were already live when the
+	// innermost loop was entered — a continue only leaks what the
+	// current iteration acquired.
+	onExit func(st flowState, how string, line int, loopTags map[*Tag]bool)
+}
+
+// analyze runs the analysis over every function-shaped body in the
+// package. Each FuncDecl and FuncLit body is scanned independently with
+// an empty entry state, so nothing is reported twice and closure bodies
+// are held to the same discipline as named functions.
+func (fa *flowAnalysis) analyze() {
+	for _, f := range fa.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					fa.analyzeBody(fn.Body)
+				}
+			case *ast.FuncLit:
+				fa.analyzeBody(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// analyzeBody scans one function body from an empty state.
+func (fa *flowAnalysis) analyzeBody(body *ast.BlockStmt) {
+	end := fa.scanList(body.List, flowState{}, nil)
+	if fa.onExit != nil && !terminates(body.List) {
+		fa.onExit(end, "fall-through", fa.p.Fset.Position(body.Rbrace).Line, nil)
+	}
+}
+
+// objFor resolves an identifier to its object (use or def).
+func objFor(p *Package, id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// objOf resolves an identifier to its variable object (use or def).
+func (fa *flowAnalysis) objOf(id *ast.Ident) types.Object {
+	return objFor(fa.p, id)
+}
+
+// isPackageLevel reports whether an identifier names a package-scoped
+// variable (of this package or, through a selector, another one).
+func (fa *flowAnalysis) isPackageLevel(id *ast.Ident) bool {
+	obj := fa.objOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	scope := v.Parent()
+	return scope != nil && v.Pkg() != nil && scope == v.Pkg().Scope()
+}
+
+// tagOf computes the tag an expression's value carries under st, nil
+// when untagged.
+func (fa *flowAnalysis) tagOf(st flowState, e ast.Expr) *Tag {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := fa.objOf(e); obj != nil {
+			return st[obj]
+		}
+	case *ast.SliceExpr:
+		// Re-slicing shares the backing array.
+		return fa.tagOf(st, e.X)
+	case *ast.StarExpr:
+		return fa.tagOf(st, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fa.tagOf(st, e.X)
+		}
+		// <-ch and arithmetic produce fresh or unmodeled values.
+	case *ast.TypeAssertExpr:
+		return fa.tagOf(st, e.X)
+	case *ast.CallExpr:
+		return fa.callTag(st, e)
+	case *ast.SelectorExpr:
+		if !fa.trackDerived {
+			return nil
+		}
+		// Field selection on a tagged struct keeps the tag (pkt.Data
+		// aliases the same block pkt does); method values do not.
+		sel, ok := fa.p.Info.Selections[e]
+		if ok && sel.Kind() != types.FieldVal {
+			return nil
+		}
+		if base := fa.tagOf(st, e.X); base != nil && fa.deriveOK(e) {
+			return base
+		}
+	case *ast.IndexExpr:
+		if !fa.trackDerived {
+			return nil
+		}
+		if base := fa.tagOf(st, e.X); base != nil && fa.deriveOK(e) {
+			return base
+		}
+	case *ast.CompositeLit:
+		if !fa.trackDerived {
+			return nil
+		}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t := fa.tagOf(st, el); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// deriveOK applies the client's type veto to a derived expression.
+func (fa *flowAnalysis) deriveOK(e ast.Expr) bool {
+	if fa.deriveType == nil {
+		return true
+	}
+	tv, ok := fa.p.Info.Types[e]
+	if !ok {
+		return true
+	}
+	return fa.deriveType(tv.Type)
+}
+
+// callTag computes the tag of a call expression used as a value:
+// source calls introduce tags, conversions and append propagate
+// structurally, and every other call launders (the blessed copy points
+// — Clone, Detach, Rec.RR, copy into caller storage — are exactly the
+// calls the engine does not see through).
+func (fa *flowAnalysis) callTag(st flowState, call *ast.CallExpr) *Tag {
+	if fa.sourceResults != nil {
+		if tags := fa.sourceResults(call); len(tags) == 1 {
+			return tags[0]
+		}
+	}
+	// Type conversion: T(x).
+	if tv, ok := fa.p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if !fa.trackDerived {
+			return nil
+		}
+		src := fa.tagOf(st, call.Args[0])
+		if src == nil {
+			return nil
+		}
+		to := types.Unalias(tv.Type).Underlying()
+		from := fa.exprType(call.Args[0])
+		// []byte <-> string conversions copy; slice->slice and
+		// string->string conversions alias.
+		_, toSlice := to.(*types.Slice)
+		_, fromSlice := from.(*types.Slice)
+		if toSlice == fromSlice {
+			return src
+		}
+		return nil
+	}
+	// Builtin append: the result aliases (or grows) the base. A spread
+	// of byte content copies the bytes, so only the base's tag
+	// survives; appending a tagged element (e.g. a token slice into a
+	// [][]byte) retains the alias.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := fa.objOf(id).(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if t := fa.tagOf(st, call.Args[0]); t != nil {
+				return t
+			}
+			if !fa.trackDerived {
+				return nil
+			}
+			if call.Ellipsis.IsValid() {
+				// Spread copies the element CONTENT, which launders
+				// only when the elements cannot themselves carry
+				// references: append([]byte(nil), x...) is clean, but
+				// spreading a []dnsmsg.RR copies structs whose Name
+				// views still alias the arena.
+				last := call.Args[len(call.Args)-1]
+				if t := fa.tagOf(st, last); t != nil {
+					if sl, ok := fa.exprType(last).(*types.Slice); ok &&
+						fa.deriveType != nil && fa.deriveType(sl.Elem()) {
+						return t
+					}
+				}
+				return nil
+			}
+			for _, a := range call.Args[1:] {
+				if t := fa.tagOf(st, a); t != nil {
+					return t
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exprType returns the underlying type of e, or nil.
+func (fa *flowAnalysis) exprType(e ast.Expr) types.Type {
+	tv, ok := fa.p.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return types.Unalias(tv.Type).Underlying()
+}
+
+// bind assigns a tag (or clears) the variable behind an identifier.
+func (fa *flowAnalysis) bind(st flowState, id *ast.Ident, tag *Tag) {
+	if id.Name == "_" {
+		return
+	}
+	obj := fa.objOf(id)
+	if obj == nil {
+		return
+	}
+	if tag == nil {
+		delete(st, obj)
+	} else {
+		st[obj] = tag
+	}
+}
+
+// applySources tags the out-parameters and receivers of source calls
+// anywhere inside node (statement position — expression results are
+// handled by tagOf at their use site).
+func (fa *flowAnalysis) applySources(st flowState, node ast.Node) {
+	if fa.sourceArgs == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate body, separate scan
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		argTags := fa.sourceArgs(call)
+		for idx, tag := range argTags {
+			var target ast.Expr
+			if idx == -1 {
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				target = sel.X
+			} else if idx < len(call.Args) {
+				target = call.Args[idx]
+			} else {
+				continue
+			}
+			target = ast.Unparen(target)
+			if u, ok := target.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				target = ast.Unparen(u.X)
+			}
+			if id, ok := target.(*ast.Ident); ok {
+				fa.bind(st, id, tag)
+			}
+		}
+		return true
+	})
+}
+
+// checkStoreTarget classifies a store's left side and fires onStore for
+// tagged values landing in longer-lived storage. Stores INTO a tagged
+// base are exempt: writing one transient value into another of the same
+// lifetime (resp.Additional = kept) retains nothing new.
+func (fa *flowAnalysis) checkStoreTarget(st flowState, lhs, rhs ast.Expr, tag *Tag) {
+	if fa.onStore == nil {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if tag != nil && fa.isPackageLevel(l) {
+			fa.onStore(lhs, "package-level variable", rhs, tag)
+		}
+	case *ast.SelectorExpr:
+		if tag == nil {
+			return
+		}
+		if sel, ok := fa.p.Info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			if fa.tagOf(st, l.X) != nil {
+				return // store into a transient of the same lifetime
+			}
+			fa.onStore(lhs, "field", rhs, tag)
+		} else if id, ok := l.X.(*ast.Ident); ok {
+			// pkg.Var = tagged
+			if _, isPkg := fa.objOf(id).(*types.PkgName); isPkg {
+				fa.onStore(lhs, "package-level variable", rhs, tag)
+			}
+		}
+	case *ast.IndexExpr:
+		if fa.tagOf(st, l.X) != nil {
+			return // element of a transient container
+		}
+		kind := "slice element"
+		if t := fa.exprType(l.X); t != nil {
+			if _, isMap := t.(*types.Map); isMap {
+				kind = "map entry"
+			}
+		}
+		if tag != nil {
+			fa.onStore(lhs, kind, rhs, tag)
+		}
+		// A tagged map key is retained by the map just like a value.
+		if kind == "map entry" {
+			if keyTag := fa.tagOf(st, l.Index); keyTag != nil {
+				fa.onStore(lhs, "map key", l.Index, keyTag)
+			}
+		}
+	case *ast.StarExpr:
+		if tag != nil && fa.tagOf(st, l.X) == nil {
+			fa.onStore(lhs, "dereference", rhs, tag)
+		}
+	}
+}
+
+// handleAssign propagates one assignment or short declaration.
+func (fa *flowAnalysis) handleAssign(st flowState, s *ast.AssignStmt) {
+	switch {
+	case len(s.Lhs) == len(s.Rhs):
+		// Parallel assignment: evaluate all right sides first.
+		tags := make([]*Tag, len(s.Rhs))
+		for i, r := range s.Rhs {
+			tags[i] = fa.tagOf(st, r)
+			// Source result dropped into the blank identifier?
+			if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && fa.onDiscard != nil {
+				if srcTags := fa.srcResultTags(call); len(srcTags) == 1 && srcTags[0] != nil {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						fa.onDiscard(call, srcTags[0])
+					}
+				}
+			}
+		}
+		for i, l := range s.Lhs {
+			fa.checkStoreTarget(st, l, s.Rhs[i], tags[i])
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				fa.bind(st, id, tags[i])
+			}
+		}
+	case len(s.Rhs) == 1:
+		// Multi-value: call, comma-ok map read, type assertion, recv.
+		r := ast.Unparen(s.Rhs[0])
+		var tags []*Tag
+		if call, ok := r.(*ast.CallExpr); ok {
+			tags = fa.srcResultTags(call)
+		}
+		if tags == nil {
+			// Comma-ok forms: the first value may carry a derived tag,
+			// the bool never does.
+			if first := fa.tagOf(st, r); first != nil {
+				tags = []*Tag{first}
+			}
+		}
+		for i, l := range s.Lhs {
+			var t *Tag
+			if i < len(tags) {
+				t = tags[i]
+			}
+			fa.checkStoreTarget(st, l, s.Rhs[0], t)
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				fa.bind(st, id, t)
+			}
+		}
+	}
+}
+
+// srcResultTags returns per-result source tags for a call, nil when the
+// call is not a source.
+func (fa *flowAnalysis) srcResultTags(call *ast.CallExpr) []*Tag {
+	if fa.sourceResults == nil {
+		return nil
+	}
+	return fa.sourceResults(call)
+}
+
+// handleDecl propagates var declarations with initializers.
+func (fa *flowAnalysis) handleDecl(st flowState, s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch {
+		case len(vs.Names) == len(vs.Values):
+			for i, v := range vs.Values {
+				fa.bind(st, vs.Names[i], fa.tagOf(st, v))
+			}
+		case len(vs.Values) == 1:
+			var tags []*Tag
+			if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+				tags = fa.srcResultTags(call)
+			}
+			for i, name := range vs.Names {
+				if i < len(tags) {
+					fa.bind(st, name, tags[i])
+				}
+			}
+		}
+	}
+}
+
+// checkSpawn audits a go statement: tagged free variables captured by
+// the literal body, and tagged direct arguments, both outlive the next
+// source call in this frame while the goroutine runs concurrently.
+func (fa *flowAnalysis) checkSpawn(st flowState, g *ast.GoStmt) {
+	if fa.onCapture == nil {
+		return
+	}
+	for _, a := range g.Call.Args {
+		if t := fa.tagOf(st, a); t != nil {
+			fa.onCapture(g, nil, a, t)
+		}
+	}
+	if fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		seen := map[types.Object]bool{}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := fa.p.Info.Uses[id]
+			if obj == nil || seen[obj] {
+				return true
+			}
+			if t := st[obj]; t != nil {
+				seen[obj] = true
+				fa.onCapture(g, id, nil, t)
+			}
+			return true
+		})
+	}
+}
+
+// releaseSpawnArgs transfers tags passed as direct go/defer arguments
+// (poolreturn's ownership handoff).
+func (fa *flowAnalysis) releaseSpawnArgs(st flowState, call *ast.CallExpr) {
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			if obj := fa.objOf(id); obj != nil {
+				if t := st[obj]; t != nil {
+					st.dropTag(t)
+				}
+			}
+		}
+	}
+}
+
+// scanList walks one statement list in source order, mutating and
+// returning the state. loopTags names the tags live when the innermost
+// enclosing loop was entered (nil outside loops).
+func (fa *flowAnalysis) scanList(stmts []ast.Stmt, st flowState, loopTags map[*Tag]bool) flowState {
+	branch := func(list []ast.Stmt, lt map[*Tag]bool) flowState {
+		if lt == nil {
+			lt = loopTags
+		}
+		return fa.scanList(list, st.clone(), lt)
+	}
+	for _, s := range stmts {
+		if fa.onStmt != nil {
+			fa.onStmt(st, s)
+		}
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			fa.handleAssign(st, s)
+			fa.applySources(st, s)
+		case *ast.DeclStmt:
+			fa.handleDecl(st, s)
+			fa.applySources(st, s)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && fa.onDiscard != nil {
+				if tags := fa.srcResultTags(call); len(tags) == 1 && tags[0] != nil {
+					fa.onDiscard(call, tags[0])
+				}
+			}
+			fa.applySources(st, s)
+		case *ast.SendStmt:
+			if fa.onSend != nil {
+				if t := fa.tagOf(st, s.Value); t != nil {
+					fa.onSend(s, t)
+				}
+			}
+			fa.applySources(st, s)
+		case *ast.IncDecStmt:
+			// no reference flow
+		case *ast.DeferStmt:
+			fa.applySources(st, s)
+			if fa.transferSpawnArgs {
+				fa.releaseSpawnArgs(st, s.Call)
+			}
+		case *ast.GoStmt:
+			fa.applySources(st, s)
+			fa.checkSpawn(st, s)
+			if fa.transferSpawnArgs {
+				fa.releaseSpawnArgs(st, s.Call)
+			}
+		case *ast.ReturnStmt:
+			fa.applySources(st, s)
+			if fa.transferReturn {
+				for _, r := range s.Results {
+					ast.Inspect(r, func(n ast.Node) bool {
+						if id, ok := n.(*ast.Ident); ok {
+							if obj := fa.objOf(id); obj != nil {
+								if t := st[obj]; t != nil {
+									st.dropTag(t)
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+			if fa.onExit != nil {
+				fa.onExit(st, "return", fa.p.Fset.Position(s.Pos()).Line, nil)
+			}
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE && fa.onExit != nil {
+				fa.onExit(st, "continue", fa.p.Fset.Position(s.Pos()).Line, loopTags)
+			}
+		case *ast.BlockStmt:
+			st = fa.scanList(s.List, st, loopTags)
+		case *ast.LabeledStmt:
+			st = fa.scanList([]ast.Stmt{s.Stmt}, st, loopTags)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				st = fa.scanList([]ast.Stmt{s.Init}, st, loopTags)
+			}
+			fa.applySources(st, s.Cond)
+			bodyEnd := branch(s.Body.List, nil)
+			var survivors []flowState
+			if !terminates(s.Body.List) {
+				survivors = append(survivors, bodyEnd)
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseEnd := branch(e.List, nil)
+				if !terminates(e.List) {
+					survivors = append(survivors, elseEnd)
+				}
+			case *ast.IfStmt:
+				survivors = append(survivors, branch([]ast.Stmt{e}, nil))
+			default: // no else: the condition-false path keeps the entry state
+				survivors = append(survivors, st)
+			}
+			st = unionStates(survivors)
+		case *ast.ForStmt:
+			if s.Init != nil {
+				st = fa.scanList([]ast.Stmt{s.Init}, st, loopTags)
+			}
+			st = unionStates([]flowState{st, branch(s.Body.List, st.tags())})
+		case *ast.RangeStmt:
+			// Ranging over a tagged value taints the iteration
+			// variables (each element aliases the container).
+			if fa.trackDerived {
+				if t := fa.tagOf(st, s.X); t != nil {
+					for _, v := range []ast.Expr{s.Key, s.Value} {
+						if v == nil {
+							continue
+						}
+						if id, ok := ast.Unparen(v).(*ast.Ident); ok && fa.rangeVarDerives(v) {
+							fa.bind(st, id, t)
+						}
+					}
+				}
+			}
+			st = unionStates([]flowState{st, branch(s.Body.List, st.tags())})
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var body *ast.BlockStmt
+			var init ast.Stmt
+			if sw, ok := s.(*ast.SwitchStmt); ok {
+				body, init = sw.Body, sw.Init
+			} else {
+				ts := s.(*ast.TypeSwitchStmt)
+				body, init = ts.Body, ts.Init
+				if ts.Assign != nil {
+					fa.applySources(st, ts.Assign)
+				}
+			}
+			if init != nil {
+				st = fa.scanList([]ast.Stmt{init}, st, loopTags)
+			}
+			survivors := []flowState{st}
+			for _, cl := range body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					end := branch(cc.Body, nil)
+					if !terminates(cc.Body) {
+						survivors = append(survivors, end)
+					}
+				}
+			}
+			st = unionStates(survivors)
+		case *ast.SelectStmt:
+			survivors := []flowState{st}
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					end := branch(cc.Body, nil)
+					if !terminates(cc.Body) {
+						survivors = append(survivors, end)
+					}
+				}
+			}
+			st = unionStates(survivors)
+		}
+	}
+	return st
+}
+
+// rangeVarDerives applies the deriveType veto to a range variable.
+func (fa *flowAnalysis) rangeVarDerives(v ast.Expr) bool {
+	if fa.deriveType == nil {
+		return true
+	}
+	tv, ok := fa.p.Info.Types[v]
+	if !ok {
+		// Newly-declared range vars are in Defs, not Types; look the
+		// object's type up directly.
+		if id, ok := ast.Unparen(v).(*ast.Ident); ok {
+			if obj := fa.p.Info.Defs[id]; obj != nil {
+				return fa.deriveType(obj.Type())
+			}
+		}
+		return true
+	}
+	return fa.deriveType(tv.Type)
+}

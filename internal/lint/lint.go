@@ -28,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding: a position, the check that produced it, and
@@ -55,16 +56,28 @@ type Checker interface {
 }
 
 // nolintRe matches the suppression comment. Everything after the check
-// list is free-form justification.
-var nolintRe = regexp.MustCompile(`//\s*ldp:nolint\b[ \t]*([a-z0-9_,\- \t]*)`)
+// list is free-form justification. Anchored to the comment start so a
+// doc comment that merely *mentions* the directive mid-prose does not
+// become a phantom suppression (trailing comments still match — the
+// comment text itself begins with the directive).
+var nolintRe = regexp.MustCompile(`^//\s*ldp:nolint\b[ \t]*([a-z0-9_,\- \t]*)`)
 
-// nolintAt records which checks are suppressed at a given file line.
-// The empty string means "all checks".
-type nolintSet map[int][]string
+// nolintEntry is one //ldp:nolint comment: the checks it names (the
+// empty string means "all checks"), where it sits, and whether it
+// actually suppressed a finding during the last RunAll — the stale
+// audit flags entries that did not.
+type nolintEntry struct {
+	names []string
+	pos   token.Position
+	used  bool
+}
 
-// collectNolint scans a file's comments and returns line -> suppressed
-// check names. A suppression applies to diagnostics on its own line and
-// on the line immediately below (so a standalone comment guards the
+// nolintSet records the suppression comments of one file by line.
+type nolintSet map[int][]*nolintEntry
+
+// collectNolint scans a file's comments and returns line -> suppression
+// entries. A suppression applies to diagnostics on its own line and on
+// the line immediately below (so a standalone comment guards the
 // statement it precedes).
 func collectNolint(fset *token.FileSet, f *ast.File) nolintSet {
 	set := nolintSet{}
@@ -74,9 +87,11 @@ func collectNolint(fset *token.FileSet, f *ast.File) nolintSet {
 			if m == nil {
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
-			names := parseNolintNames(m[1])
-			set[line] = append(set[line], names...)
+			pos := fset.Position(c.Pos())
+			set[pos.Line] = append(set[pos.Line], &nolintEntry{
+				names: parseNolintNames(m[1]),
+				pos:   pos,
+			})
 		}
 	}
 	return set
@@ -98,32 +113,143 @@ func parseNolintNames(s string) []string {
 }
 
 // suppressed reports whether a diagnostic from check at line is covered
-// by the set.
+// by the set, marking every covering entry as used for the stale audit.
 func (s nolintSet) suppressed(check string, line int) bool {
+	hit := false
 	for _, l := range []int{line, line - 1} {
-		for _, name := range s[l] {
-			if name == "" || name == check {
-				return true
+		for _, e := range s[l] {
+			for _, name := range e.names {
+				if name == "" || name == check {
+					e.used = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// KnownChecks returns the registered checker names, the vocabulary a
+// //ldp:nolint comment may use (the names do not depend on the module
+// path).
+func KnownChecks() map[string]bool {
+	known := make(map[string]bool)
+	for _, c := range DefaultCheckers("m") {
+		known[c.Name()] = true
+	}
+	return known
+}
+
+// RunConfig controls how RunAll applies the checkers.
+type RunConfig struct {
+	// Workers caps concurrent (package × checker) analysis units;
+	// values <= 1 run serially. Checkers keep per-Check state only, so
+	// the output is identical either way.
+	Workers int
+	// Stale additionally reports //ldp:nolint comments that suppressed
+	// no finding in this run (check name "stale"). Only meaningful when
+	// every registered checker runs: with a subset, an unmatched
+	// suppression may belong to a checker that was skipped.
+	Stale bool
 }
 
 // Run applies every checker to every package, filters suppressed
 // findings, and returns the remainder sorted by position.
 func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
-	var out []Diagnostic
-	for _, p := range pkgs {
-		for _, c := range checkers {
-			for _, d := range c.Check(p) {
-				if p.Nolint[d.Pos.Filename].suppressed(d.Check, d.Pos.Line) {
-					continue
+	return RunAll(pkgs, checkers, RunConfig{})
+}
+
+// RunAll is Run with a worker pool and optional suppression audits. In
+// every mode it also validates //ldp:nolint comments themselves: an
+// entry naming a check that does not exist is reported under the check
+// name "nolint" (these are typo-proofing diagnostics and cannot be
+// suppressed). Note the validation doubles as grammar enforcement — a
+// justification not separated by " — ", " -- ", or " - " parses as
+// bogus check names and is flagged.
+func RunAll(pkgs []*Package, checkers []Checker, cfg RunConfig) []Diagnostic {
+	type unit struct{ pkg, chk int }
+	units := make([]unit, 0, len(pkgs)*len(checkers))
+	for pi := range pkgs {
+		for ci := range checkers {
+			units = append(units, unit{pi, ci})
+		}
+	}
+	raw := make([][]Diagnostic, len(units))
+	if cfg.Workers > 1 && len(units) > 1 {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					raw[i] = checkers[units[i].chk].Check(pkgs[units[i].pkg])
 				}
-				out = append(out, d)
+			}()
+		}
+		for i := range units {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i, u := range units {
+			raw[i] = checkers[u.chk].Check(pkgs[u.pkg])
+		}
+	}
+
+	// Suppression filtering (and the used-marking it implies) runs
+	// single-threaded over the joined results, in unit order, so the
+	// outcome is deterministic regardless of Workers.
+	var out []Diagnostic
+	for i, u := range units {
+		p := pkgs[u.pkg]
+		for _, d := range raw[i] {
+			if p.Nolint[d.Pos.Filename].suppressed(d.Check, d.Pos.Line) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+
+	known := KnownChecks()
+	for _, p := range pkgs {
+		for _, set := range p.Nolint {
+			for _, entries := range set {
+				for _, e := range entries {
+					anyKnown := len(e.names) == 0
+					for _, name := range e.names {
+						if name == "" || known[name] {
+							anyKnown = true
+							continue
+						}
+						out = append(out, Diagnostic{
+							Pos:   e.pos,
+							Check: "nolint",
+							Message: fmt.Sprintf("//ldp:nolint names unknown check %q (see ldp-vet -list; separate the justification with ' — ')",
+								name),
+						})
+					}
+					// An entry naming only unknown checks is already
+					// reported above; a second "stale" finding for the
+					// same comment would just restate it.
+					if cfg.Stale && !e.used && anyKnown {
+						label := strings.Join(e.names, ",")
+						if label != "" {
+							label = " " + label
+						}
+						out = append(out, Diagnostic{
+							Pos:   e.pos,
+							Check: "stale",
+							Message: fmt.Sprintf("//ldp:nolint%s suppresses nothing — the finding it silenced is gone; delete the comment",
+								label),
+						})
+					}
+				}
 			}
 		}
 	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {

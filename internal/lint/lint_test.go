@@ -77,6 +77,7 @@ func TestGolden(t *testing.T) {
 		{"mutexblock", mod + "/internal/mutextest", MutexBlock{ModulePath: mod}},
 		{"poolreturn", mod + "/internal/pooltest", PoolReturn{ModulePath: mod}},
 		{"shardconfined", mod + "/internal/shardtest", ShardConfined{ModulePath: mod}},
+		{"bufalias", mod + "/internal/bufaliastest", BufAlias{ModulePath: mod}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -156,7 +157,7 @@ func TestDefaultCheckers(t *testing.T) {
 			t.Errorf("checker %q has no doc", name)
 		}
 	}
-	for _, name := range []string{"transportonly", "simclock", "obsname", "statsatomic", "errcheck", "mutexblock", "poolreturn", "shardconfined"} {
+	for _, name := range []string{"transportonly", "simclock", "obsname", "statsatomic", "errcheck", "mutexblock", "poolreturn", "shardconfined", "bufalias"} {
 		if !seen[name] {
 			t.Errorf("DefaultCheckers missing %q", name)
 		}

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package ready for checking.
@@ -47,10 +48,27 @@ type pkgMeta struct {
 type Loader struct {
 	Fset       *token.FileSet
 	ModulePath string
+	// ModuleDir is the module root on disk, the base SARIF output uses
+	// to relativize diagnostic file paths.
+	ModuleDir string
 
 	exports map[string]string // import path -> export data file
 	metas   []pkgMeta         // module packages, go list order
 	imp     types.Importer
+}
+
+// lockedImporter serializes access to the gc export-data importer: its
+// internal package cache is not safe for the concurrent type-checking
+// LoadParallel does. The FileSet it populates is synchronized already.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
 }
 
 // NewLoader lists the module rooted at (or containing) dir. The go tool
@@ -88,6 +106,7 @@ func NewLoader(dir string) (*Loader, error) {
 		if !m.Standard && m.Module != nil {
 			if l.ModulePath == "" {
 				l.ModulePath = m.Module.Path
+				l.ModuleDir = m.Module.Dir
 			}
 			l.metas = append(l.metas, m)
 		}
@@ -95,30 +114,66 @@ func NewLoader(dir string) (*Loader, error) {
 	if l.ModulePath == "" {
 		return nil, fmt.Errorf("lint: no module packages found under %s", dir)
 	}
-	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+	l.imp = &lockedImporter{imp: importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
 		file, ok := l.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("lint: no export data for %q", path)
 		}
 		return os.Open(file)
-	})
+	})}
 	return l, nil
 }
 
 // Load parses and type-checks every package in the module, in go list
 // (dependency) order.
 func (l *Loader) Load() ([]*Package, error) {
-	pkgs := make([]*Package, 0, len(l.metas))
-	for _, m := range l.metas {
+	return l.LoadParallel(1)
+}
+
+// LoadParallel is Load with up to workers concurrent parse+type-check
+// pipelines. Every package checks its imports against compiler export
+// data (never another package's in-progress type-check), so packages
+// are independent: the only shared mutable state is the importer's
+// cache, which lockedImporter serializes, and the FileSet, which
+// synchronizes itself. Results keep go list order regardless of worker
+// count.
+func (l *Loader) LoadParallel(workers int) ([]*Package, error) {
+	pkgs := make([]*Package, len(l.metas))
+	errs := make([]error, len(l.metas))
+	check := func(i int) {
+		m := l.metas[i]
 		files := make([]string, len(m.GoFiles))
-		for i, f := range m.GoFiles {
-			files[i] = filepath.Join(m.Dir, f)
+		for j, f := range m.GoFiles {
+			files[j] = filepath.Join(m.Dir, f)
 		}
-		p, err := l.checkFiles(m.ImportPath, m.Dir, files)
+		pkgs[i], errs[i] = l.checkFiles(m.ImportPath, m.Dir, files)
+	}
+	if workers > 1 && len(l.metas) > 1 {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					check(i)
+				}
+			}()
+		}
+		for i := range l.metas {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range l.metas {
+			check(i)
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
 }

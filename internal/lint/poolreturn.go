@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"sort"
 )
 
@@ -14,22 +13,23 @@ import (
 // into one-allocation-per-query code, which is exactly the regression
 // class the benchmark gate exists to catch.
 //
-// The analysis is path-sensitive in the same deliberately simple way as
-// mutexblock: within each function body it scans statement lists in
-// source order, tracking variables bound to a GetMsg result, and flags
-// the GetMsg call when some exit path — a return statement, falling off
-// the end of the function, or a continue that re-enters the loop
-// iteration that acquired the message — is reached with the message
-// still held. Releases it understands: dnsmsg.PutMsg(m) anywhere in a
-// leaf statement, including inside nested function literals (deferred
-// cleanup closures, goroutine bodies that capture m); returning the
-// message (ownership moves to the caller); and passing the message as an
-// argument of a go or defer call (ownership moves to the spawned body,
-// whose own discipline is checked when its function literal is scanned).
-// Subtler transfers — sending the message on a channel, stashing it in a
-// struct — carry an //ldp:nolint poolreturn comment on the GetMsg line
-// with the ownership story (see resolver.ServeUDP). Leaks via break or
-// goto are not modeled.
+// PoolReturn is a client of the shared dataflow engine (flow.go): the
+// engine tracks which variables hold a GetMsg result along each path,
+// and this checker supplies the source (GetMsg), the releases
+// (dnsmsg.PutMsg(m) anywhere in a leaf statement, including inside
+// nested function literals — deferred cleanup closures, goroutine
+// bodies that capture m), the transfers (returning the message hands it
+// to the caller; passing it as an argument of a go or defer call hands
+// it to the spawned body, whose own discipline is checked when its
+// function literal is scanned), and the exit audit — a return, a
+// continue that re-enters the loop iteration that acquired the message,
+// or falling off the end of the function while the message is still
+// held flags the GetMsg call. Subtler transfers — sending the message
+// on a channel, stashing it in a struct — carry an //ldp:nolint
+// poolreturn comment on the GetMsg line with the ownership story (see
+// resolver.ServeUDP); the bufalias checker audits those same escapes
+// from the buffer-lifetime side. Leaks via break or goto are not
+// modeled.
 type PoolReturn struct {
 	ModulePath string
 }
@@ -49,194 +49,73 @@ func (c PoolReturn) isPoolCall(p *Package, call *ast.CallExpr, name string) bool
 
 func (c PoolReturn) Check(p *Package) []Diagnostic {
 	var out []Diagnostic
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			// Every function-shaped body is scanned independently; the
-			// outer scan never descends into a FuncLit's statements, so
-			// nothing is reported twice.
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					c.checkBody(p, fn.Body, &out)
-				}
-			case *ast.FuncLit:
-				c.checkBody(p, fn.Body, &out)
-			}
-			return true
-		})
-	}
-	return out
-}
+	// reported dedupes by the GetMsg call so each acquisition is flagged
+	// once even when several paths leak it; the diagnostic anchors at
+	// the GetMsg so a line-level //ldp:nolint there covers all paths.
+	reported := map[ast.Node]bool{}
 
-// checkBody scans one function body. held maps a variable name to the
-// GetMsg call that bound it (the diagnostic anchor, so a line-level
-// //ldp:nolint on the GetMsg suppresses every path it would leak on);
-// reported dedupes so each GetMsg is flagged once even when several
-// paths leak it.
-func (c PoolReturn) checkBody(p *Package, body *ast.BlockStmt, out *[]Diagnostic) {
-	held := map[string]*ast.CallExpr{}
-	reported := map[*ast.CallExpr]bool{}
-	end := c.scanList(p, body.List, held, nil, reported, out)
-	if !terminates(body.List) {
-		c.flagHeld(p, end, nil, reported, out,
-			p.Fset.Position(body.Rbrace).Line, "fall-through")
-	}
-}
-
-// scanList walks one statement list in source order, maintaining the set
-// of held messages, and returns the state at the end of the list. outer
-// names the messages already held when the innermost enclosing loop was
-// entered — a continue leaks only what the current iteration acquired.
-// Branches merge as a union: a message counts as held afterwards if ANY
-// surviving path still holds it, since the check is for the existence of
-// a leaky path.
-func (c PoolReturn) scanList(p *Package, stmts []ast.Stmt, held map[string]*ast.CallExpr, outer map[string]bool, reported map[*ast.CallExpr]bool, out *[]Diagnostic) map[string]*ast.CallExpr {
-	branch := func(list []ast.Stmt, loopOuter map[string]bool) map[string]*ast.CallExpr {
-		if loopOuter == nil {
-			loopOuter = outer
-		}
-		return c.scanList(p, list, copyHeld(held), loopOuter, reported, out)
-	}
-	for _, s := range stmts {
-		switch s := s.(type) {
-		case *ast.AssignStmt:
-			if len(s.Lhs) == len(s.Rhs) {
-				for i, r := range s.Rhs {
-					call, ok := ast.Unparen(r).(*ast.CallExpr)
-					if !ok || !c.isPoolCall(p, call, "GetMsg") {
-						continue
-					}
-					if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
-						held[id.Name] = call
-					} else if !reported[call] {
-						reported[call] = true
-						*out = append(*out, diag(p, c.Name(), call,
-							"dnsmsg.GetMsg result is discarded — the message can never be returned to the pool"))
-					}
-				}
+	fa := &flowAnalysis{
+		p: p,
+		sourceResults: func(call *ast.CallExpr) []*Tag {
+			if c.isPoolCall(p, call, "GetMsg") {
+				return []*Tag{{Origin: call, Desc: "dnsmsg.GetMsg result", Kind: "pool"}}
 			}
-			c.releaseIn(p, s, held)
-		case *ast.DeclStmt:
-			gd, ok := s.Decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR {
-				continue
+			return nil
+		},
+		transferReturn:    true,
+		transferSpawnArgs: true,
+		onStmt: func(st flowState, s ast.Stmt) {
+			// Releases live in leaf statements only: scanning compound
+			// statements here would see PutMsg calls in branches not
+			// yet taken.
+			switch s.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+				c.releaseIn(p, st, s)
 			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok || len(vs.Names) != len(vs.Values) {
+		},
+		onDiscard: func(call *ast.CallExpr, tag *Tag) {
+			if reported[tag.Origin] {
+				return
+			}
+			reported[tag.Origin] = true
+			out = append(out, diag(p, c.Name(), call,
+				"dnsmsg.GetMsg result is discarded — the message can never be returned to the pool"))
+		},
+		onExit: func(st flowState, how string, line int, loopTags map[*Tag]bool) {
+			type held struct {
+				name string
+				tag  *Tag
+			}
+			var hs []held
+			for obj, tag := range st {
+				// A continue leaks only what the current iteration
+				// acquired, not messages already held at loop entry.
+				if loopTags != nil && loopTags[tag] {
 					continue
 				}
-				for i, v := range vs.Values {
-					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok && c.isPoolCall(p, call, "GetMsg") {
-						held[vs.Names[i].Name] = call
-					}
+				hs = append(hs, held{obj.Name(), tag})
+			}
+			sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+			for _, h := range hs {
+				if reported[h.tag.Origin] {
+					continue
 				}
+				reported[h.tag.Origin] = true
+				out = append(out, diag(p, c.Name(), h.tag.Origin,
+					"dnsmsg.GetMsg result %s is not returned to the pool on the %s at line %d; PutMsg on every exit path (or //ldp:nolint poolreturn with the ownership story)",
+					h.name, how, line))
 			}
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok && c.isPoolCall(p, call, "GetMsg") && !reported[call] {
-				reported[call] = true
-				*out = append(*out, diag(p, c.Name(), call,
-					"dnsmsg.GetMsg result is discarded — the message can never be returned to the pool"))
-				continue
-			}
-			c.releaseIn(p, s, held)
-		case *ast.DeferStmt:
-			c.releaseIn(p, s, held)
-			c.releaseArgs(s.Call, held)
-		case *ast.GoStmt:
-			c.releaseIn(p, s, held)
-			c.releaseArgs(s.Call, held)
-		case *ast.ReturnStmt:
-			// A return whose expression mentions the message hands it off
-			// to the caller, which owns it from here.
-			for _, r := range s.Results {
-				ast.Inspect(r, func(n ast.Node) bool {
-					if id, ok := n.(*ast.Ident); ok {
-						delete(held, id.Name)
-					}
-					return true
-				})
-			}
-			c.flagHeld(p, held, nil, reported, out,
-				p.Fset.Position(s.Pos()).Line, "return")
-		case *ast.BranchStmt:
-			if s.Tok == token.CONTINUE {
-				c.flagHeld(p, held, outer, reported, out,
-					p.Fset.Position(s.Pos()).Line, "continue")
-			}
-		case *ast.BlockStmt:
-			held = c.scanList(p, s.List, held, outer, reported, out)
-		case *ast.LabeledStmt:
-			held = c.scanList(p, []ast.Stmt{s.Stmt}, held, outer, reported, out)
-		case *ast.IfStmt:
-			if s.Init != nil {
-				held = c.scanList(p, []ast.Stmt{s.Init}, held, outer, reported, out)
-			}
-			bodyEnd := branch(s.Body.List, nil)
-			var survivors []map[string]*ast.CallExpr
-			if !terminates(s.Body.List) {
-				survivors = append(survivors, bodyEnd)
-			}
-			switch e := s.Else.(type) {
-			case *ast.BlockStmt:
-				elseEnd := branch(e.List, nil)
-				if !terminates(e.List) {
-					survivors = append(survivors, elseEnd)
-				}
-			case *ast.IfStmt:
-				survivors = append(survivors, branch([]ast.Stmt{e}, nil))
-			default: // no else: the condition-false path keeps the entry state
-				survivors = append(survivors, held)
-			}
-			held = unionHeld(survivors)
-		case *ast.ForStmt:
-			if s.Init != nil {
-				held = c.scanList(p, []ast.Stmt{s.Init}, held, outer, reported, out)
-			}
-			held = unionHeld([]map[string]*ast.CallExpr{held, branch(s.Body.List, keysOf(held))})
-		case *ast.RangeStmt:
-			held = unionHeld([]map[string]*ast.CallExpr{held, branch(s.Body.List, keysOf(held))})
-		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-			var body *ast.BlockStmt
-			var init ast.Stmt
-			if sw, ok := s.(*ast.SwitchStmt); ok {
-				body, init = sw.Body, sw.Init
-			} else {
-				ts := s.(*ast.TypeSwitchStmt)
-				body, init = ts.Body, ts.Init
-			}
-			if init != nil {
-				held = c.scanList(p, []ast.Stmt{init}, held, outer, reported, out)
-			}
-			survivors := []map[string]*ast.CallExpr{held}
-			for _, cl := range body.List {
-				if cc, ok := cl.(*ast.CaseClause); ok {
-					end := branch(cc.Body, nil)
-					if !terminates(cc.Body) {
-						survivors = append(survivors, end)
-					}
-				}
-			}
-			held = unionHeld(survivors)
-		case *ast.SelectStmt:
-			survivors := []map[string]*ast.CallExpr{held}
-			for _, cl := range s.Body.List {
-				if cc, ok := cl.(*ast.CommClause); ok {
-					end := branch(cc.Body, nil)
-					if !terminates(cc.Body) {
-						survivors = append(survivors, end)
-					}
-				}
-			}
-			held = unionHeld(survivors)
-		}
+		},
 	}
-	return held
+	fa.analyze()
+	return out
 }
 
 // releaseIn clears any held message that a PutMsg call anywhere inside
 // node — including inside nested function literals — names directly.
-func (c PoolReturn) releaseIn(p *Package, node ast.Node, held map[string]*ast.CallExpr) {
+// Release is by tag, so every alias of the released message clears
+// together.
+func (c PoolReturn) releaseIn(p *Package, st flowState, node ast.Node) {
 	ast.Inspect(node, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || !c.isPoolCall(p, call, "PutMsg") {
@@ -244,70 +123,13 @@ func (c PoolReturn) releaseIn(p *Package, node ast.Node, held map[string]*ast.Ca
 		}
 		for _, a := range call.Args {
 			if id, ok := ast.Unparen(a).(*ast.Ident); ok {
-				delete(held, id.Name)
+				if obj := objFor(p, id); obj != nil {
+					if t := st[obj]; t != nil {
+						st.dropTag(t)
+					}
+				}
 			}
 		}
 		return true
 	})
-}
-
-// releaseArgs treats a held message passed as an argument of a go or
-// defer call as an ownership transfer to the spawned body.
-func (c PoolReturn) releaseArgs(call *ast.CallExpr, held map[string]*ast.CallExpr) {
-	for _, a := range call.Args {
-		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
-			delete(held, id.Name)
-		}
-	}
-}
-
-// flagHeld reports every still-held message (minus outer, when set) as a
-// leak on the exit path at line. The diagnostic anchors at the GetMsg
-// call so a //ldp:nolint poolreturn on that line covers all its paths.
-func (c PoolReturn) flagHeld(p *Package, held map[string]*ast.CallExpr, outer map[string]bool, reported map[*ast.CallExpr]bool, out *[]Diagnostic, line int, how string) {
-	names := make([]string, 0, len(held))
-	for name := range held {
-		if outer != nil && outer[name] {
-			continue
-		}
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		call := held[name]
-		if reported[call] {
-			continue
-		}
-		reported[call] = true
-		*out = append(*out, diag(p, c.Name(), call,
-			"dnsmsg.GetMsg result %s is not returned to the pool on the %s at line %d; PutMsg on every exit path (or //ldp:nolint poolreturn with the ownership story)",
-			name, how, line))
-	}
-}
-
-func copyHeld(m map[string]*ast.CallExpr) map[string]*ast.CallExpr {
-	out := make(map[string]*ast.CallExpr, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
-}
-
-// unionHeld merges surviving-path states: held on any path means held.
-func unionHeld(states []map[string]*ast.CallExpr) map[string]*ast.CallExpr {
-	out := make(map[string]*ast.CallExpr)
-	for _, s := range states {
-		for k, v := range s {
-			out[k] = v
-		}
-	}
-	return out
-}
-
-func keysOf(m map[string]*ast.CallExpr) map[string]bool {
-	out := make(map[string]bool, len(m))
-	for k := range m {
-		out[k] = true
-	}
-	return out
 }

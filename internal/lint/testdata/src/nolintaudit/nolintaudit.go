@@ -1,0 +1,30 @@
+// Package audittest exercises the suppression audits: a nolint that
+// still suppresses a finding stays silent, one that no longer fires is
+// reported stale, and entries naming nonexistent checks (typos, or a
+// justification not separated from the name list) are flagged.
+package audittest
+
+func mayFail() error { return nil }
+
+// usedSuppression suppresses a live errcheck finding: not stale.
+func usedSuppression() {
+	mayFail() //ldp:nolint errcheck — fixture: outcome deliberately ignored
+}
+
+// staleSuppression names a check that no longer fires on its line.
+func staleSuppression() {
+	x := 1 //ldp:nolint errcheck — fixture: the call this once covered is gone
+	_ = x
+}
+
+// typo misspells the check name, so the finding is NOT suppressed and
+// the entry is reported as naming an unknown check.
+func typo() {
+	mayFail() //ldp:nolint errchek — fixture: misspelled on purpose
+}
+
+// missingSeparator runs the justification into the name list; every
+// word after the real name parses as a bogus check name.
+func missingSeparator() {
+	mayFail() //ldp:nolint errcheck fixture justification without separator
+}

@@ -80,7 +80,7 @@ func (r *Resolver) ServeUDP(ctx context.Context, conn net.PacketConn, maxInfligh
 		// the handler goroutine, which returns it. The question name is
 		// cloned off the decode arena first: Resolve may retain it (cache
 		// keys, upstream questions) past this message's reuse.
-		req := dnsmsg.GetMsg() //ldp:nolint poolreturn — returned by the handler goroutine below on every path
+		req := dnsmsg.GetMsg()
 		if err := req.UnpackBuffer(buf[:n]); err != nil {
 			dnsmsg.PutMsg(req)
 			continue
@@ -95,6 +95,7 @@ func (r *Resolver) ServeUDP(ctx context.Context, conn net.PacketConn, maxInfligh
 			continue
 		}
 		inflight.Add(1)
+		//ldp:nolint bufalias — ownership handoff: the accept loop never touches req again, and the goroutine returns it to the pool on every path before the arena can recycle
 		go func(req *dnsmsg.Msg, addr net.Addr) {
 			defer func() { dnsmsg.PutMsg(req); <-sem; inflight.Add(-1) }()
 			resp := r.HandleStub(ctx, req)
