@@ -44,6 +44,10 @@ func main() {
 	distributors := flag.Int("distributors", 1, "local distributor processes")
 	queriers := flag.Int("queriers", 4, "querier processes per distributor")
 	fast := flag.Bool("fast", false, "replay as fast as possible (ignore trace timing)")
+	batch := flag.Int("batch", 0, "queries per distribution-tree batch (0 = default 32)")
+	pacing := flag.Duration("pacing", 0, "timer-wheel granularity for timed replay (0 = default 250µs)")
+	dropResults := flag.Bool("drop-results", false, "skip per-query result records (counters only; saves memory at high qps)")
+	reference := flag.Bool("reference", false, "use the per-item reference data plane instead of the batched one (A/B)")
 	connTimeout := flag.Duration("conn-timeout", 20*time.Second, "TCP/TLS connection reuse timeout")
 	forceProto := flag.String("force-protocol", "", "mutate all queries to udp|tcp|tls")
 	doFrac := flag.Float64("do", -1, "mutate the DNSSEC-OK fraction (0..1; -1 keeps original)")
@@ -69,17 +73,37 @@ func main() {
 		})
 	}
 
+	opts := engineOpts{
+		fast:        *fast,
+		batch:       *batch,
+		pacing:      *pacing,
+		dropResults: *dropResults,
+		reference:   *reference,
+		connTimeout: *connTimeout,
+		tlsInsecure: *tlsInsecure,
+	}
 	switch *role {
 	case "standalone":
-		runStandalone(*input, *target, *distributors, *queriers, *fast, *connTimeout,
-			*forceProto, *doFrac, *prefix, *tlsInsecure)
+		runStandalone(*input, *target, *distributors, *queriers, opts,
+			*forceProto, *doFrac, *prefix)
 	case "controller":
 		runController(*input, *listen, *clients, *forceProto, *doFrac, *prefix)
 	case "client":
-		runClient(*controller, *target, *queriers, *fast, *connTimeout, *tlsInsecure)
+		runClient(*controller, *target, *queriers, opts)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
+}
+
+// engineOpts carries the data-plane tuning flags to engineConfig.
+type engineOpts struct {
+	fast        bool
+	batch       int
+	pacing      time.Duration
+	dropResults bool
+	reference   bool
+	connTimeout time.Duration
+	tlsInsecure bool
 }
 
 func openTrace(path string) trace.Reader {
@@ -122,7 +146,7 @@ func buildMutator(forceProto string, doFrac float64, prefix string) mutate.Mutat
 	return chain
 }
 
-func engineConfig(target string, distributors, queriers int, fast bool, connTimeout time.Duration, tlsInsecure bool) replay.Config {
+func engineConfig(target string, distributors, queriers int, o engineOpts) replay.Config {
 	ap, err := netip.ParseAddrPort(target)
 	if err != nil {
 		log.Fatalf("bad -target %q: %v", target, err)
@@ -131,13 +155,17 @@ func engineConfig(target string, distributors, queriers int, fast bool, connTime
 		Server:                 ap,
 		Distributors:           distributors,
 		QueriersPerDistributor: queriers,
-		ConnIdleTimeout:        connTimeout,
+		ConnIdleTimeout:        o.connTimeout,
+		BatchSize:              o.batch,
+		PacingGranularity:      o.pacing,
+		DropResults:            o.dropResults,
+		Reference:              o.reference,
 		Obs:                    obs.Default,
 	}
-	if fast {
+	if o.fast {
 		cfg.Mode = replay.FastAsPossible
 	}
-	if tlsInsecure {
+	if o.tlsInsecure {
 		_, cliCfg, err := server.SelfSignedTLS(ap.Addr().String())
 		if err == nil {
 			cliCfg.InsecureSkipVerify = true
@@ -147,13 +175,13 @@ func engineConfig(target string, distributors, queriers int, fast bool, connTime
 	return cfg
 }
 
-func runStandalone(input, target string, distributors, queriers int, fast bool,
-	connTimeout time.Duration, forceProto string, doFrac float64, prefix string, tlsInsecure bool) {
+func runStandalone(input, target string, distributors, queriers int, opts engineOpts,
+	forceProto string, doFrac float64, prefix string) {
 	if input == "" || target == "" {
 		log.Fatal("standalone role needs -input and -target")
 	}
 	src := mutate.NewReader(openTrace(input), buildMutator(forceProto, doFrac, prefix))
-	eng, err := replay.New(engineConfig(target, distributors, queriers, fast, connTimeout, tlsInsecure))
+	eng, err := replay.New(engineConfig(target, distributors, queriers, opts))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -181,11 +209,11 @@ func runController(input, listen string, clients int, forceProto string, doFrac 
 	log.Print("stream complete")
 }
 
-func runClient(controller, target string, queriers int, fast bool, connTimeout time.Duration, tlsInsecure bool) {
+func runClient(controller, target string, queriers int, opts engineOpts) {
 	if controller == "" || target == "" {
 		log.Fatal("client role needs -controller and -target")
 	}
-	cfg := engineConfig(target, 1, queriers, fast, connTimeout, tlsInsecure)
+	cfg := engineConfig(target, 1, queriers, opts)
 	rep, err := replay.RunRemoteClient(context.Background(), controller, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -9,8 +9,10 @@ import (
 // BufAlias checks the transient-buffer lifetime contracts the zero-copy
 // hot paths (PRs 4 and 7) state only in doc comments: values handed out
 // by pcap.Reader.ReadZeroCopy, zone.StreamParser.Next, and the
-// dnsmsg arena codec (pooled GetMsg messages, UnpackBuffer receivers)
-// alias storage that is recycled by the NEXT read, Reset, or PutMsg.
+// dnsmsg arena codec (pooled GetMsg messages, UnpackBuffer receivers),
+// and transport.GetBatch datagram batches (whose Bufs PutBatch hands to
+// the next ReadBatch) alias storage that is recycled by the NEXT read,
+// Reset, PutMsg, or PutBatch.
 // A retained alias does not crash — it silently yields bytes from a
 // different packet, token, or message, which in a byte-faithful replay
 // tool corrupts results rather than failing loudly. bufalias flags any
@@ -35,7 +37,7 @@ type BufAlias struct {
 
 func (BufAlias) Name() string { return "bufalias" }
 func (BufAlias) Doc() string {
-	return "values aliasing transient buffers (ReadZeroCopy packets, zone tokens, dnsmsg arenas) must not outlive the next read"
+	return "values aliasing transient buffers (ReadZeroCopy packets, zone tokens, dnsmsg arenas, pooled datagram batches) must not outlive the next read"
 }
 
 const bufAliasRemedy = "copy it first (Clone / append([]byte(nil), ...) / explicit copy) or //ldp:nolint bufalias with the lifetime story"
@@ -58,6 +60,7 @@ var bufSources = []bufSource{
 	{"/internal/zone", "StreamParser", "Next", "zone.StreamParser token view", "zonetok", "arg0"},
 	{"/internal/dnsmsg", "", "GetMsg", "pooled dnsmsg.Msg arena", "arena", "result0"},
 	{"/internal/dnsmsg", "Msg", "UnpackBuffer", "pooled dnsmsg.Msg arena", "arena", "recv"},
+	{"/internal/transport", "", "GetBatch", "pooled transport datagram batch", "dgbatch", "result0"},
 }
 
 // matchSource resolves a call against the source table (nil when the

@@ -7,6 +7,7 @@ package bufaliastest
 import (
 	"ldplayer/internal/dnsmsg"
 	"ldplayer/internal/pcap"
+	"ldplayer/internal/transport"
 	"ldplayer/internal/zone"
 )
 
@@ -100,6 +101,41 @@ func handoff() {
 	go func(req *dnsmsg.Msg) { // want "passed to a spawned goroutine"
 		dnsmsg.PutMsg(req)
 	}(m)
+}
+
+// batchEscape retains datagram payloads from a pooled transport batch:
+// PutBatch restores every Buf to full capacity and the next ReadBatch
+// overwrites it in place, so a kept view silently turns into a later
+// packet's bytes.
+func batchEscape(bc transport.BatchConn, st *store, ch chan []byte) error {
+	msp := transport.GetBatch()
+	defer transport.PutBatch(msp)
+	ms := *msp
+	n, err := bc.ReadBatch(ms)
+	if err != nil {
+		return err
+	}
+	for i := range ms[:n] {
+		st.data = ms[i].Buf // want "stored into a field"
+		ch <- ms[i].Buf     // want "sent on a channel"
+	}
+	return nil
+}
+
+// batchCopyOut is the blessed shape: payloads leave the batch only as
+// content copies, so recycling cannot reach them. No findings.
+func batchCopyOut(bc transport.BatchConn, ch chan []byte) error {
+	msp := transport.GetBatch()
+	defer transport.PutBatch(msp)
+	ms := *msp
+	n, err := bc.ReadBatch(ms)
+	if err != nil {
+		return err
+	}
+	for i := range ms[:n] {
+		ch <- append([]byte(nil), ms[i].Buf[:ms[i].N]...)
+	}
+	return nil
 }
 
 // cloneEscape goes through every blessed copy point: no findings.

@@ -1,0 +1,89 @@
+package mutate
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ldplayer/internal/trace"
+)
+
+// TestReaderReadBatch: a mutation chain over a bulk source stays on the
+// bulk path — drops are compacted in place and all-dropped batches are
+// skipped rather than surfacing a zero count mid-stream.
+func TestReaderReadBatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewBinaryWriter(&buf)
+	// 12 events alternating query/response: QueriesOnly drops half.
+	for i := 0; i < 12; i++ {
+		wire := []byte{0, byte(i), 0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+		if i%2 == 1 {
+			wire[2] = 0x80 // QR: response
+		}
+		e := &trace.Event{
+			Time:  time.Unix(1000, int64(i)*1e6),
+			Src:   netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}), 5000),
+			Dst:   netip.MustParseAddrPort("192.0.2.1:53"),
+			Proto: trace.UDP,
+			Wire:  wire,
+		}
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(trace.NewBinaryReader(&buf), QueriesOnly())
+	if _, ok := interface{}(r).(trace.BatchReader); !ok {
+		t.Fatal("mutate.Reader over a bulk source must implement trace.BatchReader")
+	}
+	dst := make([]*trace.Event, 4)
+	var ids []uint16
+	for {
+		n, err := r.ReadBatch(dst)
+		if err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		if n == 0 {
+			t.Fatal("zero count with nil error")
+		}
+		for _, e := range dst[:n] {
+			if !e.IsQuery() {
+				t.Fatal("response leaked through QueriesOnly")
+			}
+			ids = append(ids, e.ID())
+		}
+	}
+	if len(ids) != 6 {
+		t.Fatalf("kept %d events, want 6", len(ids))
+	}
+	for i, id := range ids {
+		if int(id) != 2*i {
+			t.Fatalf("order broken: got id %d at %d", id, i)
+		}
+	}
+
+	// A non-bulk source degrades to one event per call.
+	r2 := NewReader(&oneByOne{n: 3}, QueriesOnly())
+	n, err := r2.ReadBatch(dst)
+	if err != nil || n != 1 {
+		t.Fatalf("plain source: n=%d err=%v, want 1", n, err)
+	}
+}
+
+type oneByOne struct{ n, i int }
+
+func (o *oneByOne) Read() (*trace.Event, error) {
+	if o.i >= o.n {
+		return nil, io.EOF
+	}
+	o.i++
+	return &trace.Event{Wire: []byte{0, byte(o.i), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}}, nil
+}

@@ -70,6 +70,48 @@ func (r *Reader) Read() (*trace.Event, error) {
 	}
 }
 
+// ReadBatch implements trace.BatchReader when the wrapped source does,
+// mutating each event in place and compacting drops, so inserting a
+// mutation chain does not knock the replay controller off its batched
+// input fast path. Without a batch-capable source it degrades to the
+// per-event loop.
+func (r *Reader) ReadBatch(dst []*trace.Event) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	br, ok := r.src.(trace.BatchReader)
+	if !ok {
+		e, err := r.Read()
+		if err != nil {
+			return 0, err
+		}
+		dst[0] = e
+		return 1, nil
+	}
+	for {
+		n, err := br.ReadBatch(dst)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		kept := 0
+		for _, e := range dst[:n] {
+			out, err := r.m.Mutate(e)
+			if err != nil {
+				return 0, err
+			}
+			if out != nil {
+				dst[kept] = out
+				kept++
+			}
+		}
+		if kept > 0 {
+			return kept, nil
+		}
+		// Every event in the batch was dropped by the mutator: read on
+		// rather than returning a zero count mid-stream.
+	}
+}
+
 // Apply runs a mutator over a whole in-memory trace.
 func Apply(t *trace.Trace, m Mutator) (*trace.Trace, error) {
 	out := &trace.Trace{Events: make([]*trace.Event, 0, len(t.Events))}

@@ -1,0 +1,90 @@
+package replay
+
+import "sync"
+
+// The distribution tree moves queries in batches: the controller and
+// distributors accumulate items per output lane and hand the lane a
+// whole batch, so one channel operation (and one scheduler wake-up)
+// covers ~BatchSize queries instead of one. Batches are pooled — the
+// steady-state hot path allocates nothing per query — and same-source
+// ordering survives because a source sticks to one lane and a lane's
+// batches are appended and consumed in FIFO order.
+
+// batch is one unit of tree hand-off: up to Config.BatchSize items.
+type batch struct {
+	items []item
+}
+
+var itemBatchPool = sync.Pool{New: func() any { return new(batch) }}
+
+// getBatch returns an empty pooled batch with room for size items.
+func getBatch(size int) *batch {
+	b := itemBatchPool.Get().(*batch)
+	if cap(b.items) < size {
+		b.items = make([]item, 0, size)
+	}
+	b.items = b.items[:0]
+	return b
+}
+
+// putBatch recycles a consumed batch, dropping event pointers so the
+// pool never pins trace wire buffers across runs.
+func putBatch(b *batch) {
+	for i := range b.items {
+		b.items[i].ev = nil
+	}
+	b.items = b.items[:0]
+	itemBatchPool.Put(b)
+}
+
+// laneBatcher accumulates items per output lane and forwards full
+// batches. Both tree levels use it: the controller over distributor
+// lanes, each distributor over its querier lanes.
+type laneBatcher struct {
+	outs []chan *batch
+	cur  []*batch
+	size int
+}
+
+func newLaneBatcher(outs []chan *batch, size int) *laneBatcher {
+	return &laneBatcher{outs: outs, cur: make([]*batch, len(outs)), size: size}
+}
+
+// add appends one item to lane's open batch, forwarding it when full.
+func (lb *laneBatcher) add(lane int, it item) {
+	b := lb.cur[lane]
+	if b == nil {
+		b = getBatch(lb.size)
+		lb.cur[lane] = b
+	}
+	b.items = append(b.items, it)
+	if len(b.items) >= lb.size {
+		lb.cur[lane] = nil
+		lb.outs[lane] <- b
+	}
+}
+
+// flush forwards lane's partial batch, if any.
+func (lb *laneBatcher) flush(lane int) {
+	if b := lb.cur[lane]; b != nil {
+		lb.cur[lane] = nil
+		lb.outs[lane] <- b
+	}
+}
+
+// flushAll forwards every partial batch. Producers call it whenever the
+// input stalls (a short read, an idle inbound channel) so a query is
+// never held hostage to the arrival of batch-mates.
+func (lb *laneBatcher) flushAll() {
+	for lane := range lb.outs {
+		lb.flush(lane)
+	}
+}
+
+// closeAll flushes remaining items and closes every output lane.
+func (lb *laneBatcher) closeAll() {
+	for lane, out := range lb.outs {
+		lb.flush(lane)
+		close(out)
+	}
+}

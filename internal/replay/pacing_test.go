@@ -1,0 +1,189 @@
+package replay
+
+import (
+	"context"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"ldplayer/internal/obs"
+	"ldplayer/internal/trace"
+)
+
+// TestWheelBucketQuantization: offsets round UP to bucket edges — a
+// query may go out late by under one granule, never early.
+func TestWheelBucketQuantization(t *testing.T) {
+	g := 250 * time.Microsecond
+	w := newWheel(g)
+	cases := []struct{ off, want time.Duration }{
+		{0, 0},
+		{1, g},
+		{g - 1, g},
+		{g, g},
+		{g + 1, 2 * g},
+		{10*g - 1, 10 * g},
+	}
+	for _, c := range cases {
+		if got := w.bucket(c.off); got != c.want {
+			t.Errorf("bucket(%v)=%v want %v", c.off, got, c.want)
+		}
+	}
+	// Zero granularity degrades to exact offsets.
+	if got := newWheel(0).bucket(12345); got != 12345 {
+		t.Errorf("ungated bucket=%v want 12345", got)
+	}
+}
+
+// TestWheelPacingAccuracy drives a constant-gap schedule through the
+// wheel and checks the send-time error: never early, and p99 within one
+// bucket plus scheduler slop.
+func TestWheelPacingAccuracy(t *testing.T) {
+	const (
+		gran = 10 * time.Millisecond
+		gap  = 5 * time.Millisecond
+		n    = 40
+		// CI boxes wake timers late; the bound asserts the wheel adds at
+		// most its documented one-bucket quantization on top of that.
+		slop = 25 * time.Millisecond
+	)
+	w := newWheel(gran)
+	defer w.stop()
+	start := time.Now()
+	errs := make([]time.Duration, 0, n)
+	for i := 1; i <= n; i++ {
+		offset := time.Duration(i) * gap
+		if !w.sleepUntil(context.Background(), start, offset) {
+			t.Fatal("sleepUntil returned early without cancellation")
+		}
+		lag := time.Since(start) - offset
+		if lag < 0 {
+			t.Fatalf("query %d sent %v early — the wheel must never round down", i, -lag)
+		}
+		errs = append(errs, lag)
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i] < errs[j] })
+	p99 := errs[len(errs)*99/100]
+	if p99 > gran+slop {
+		t.Errorf("p99 send-time error %v exceeds one bucket (%v) + slop", p99, gran)
+	}
+	if med := errs[len(errs)/2]; med > gran+5*time.Millisecond {
+		t.Errorf("median send-time error %v too large for %v buckets", med, gran)
+	}
+}
+
+// TestBatchedDistributionSameSourceFIFO: a source's queries must arrive
+// at its querier in trace order even when they straddle batch
+// boundaries and share batches with other sources. Items are routed
+// through the real treeRouter (which stamps the querier lane at
+// ingress, as the controller does) and the queriers are built but never
+// started, so their inbound channels record exactly what the
+// distributor delivered, in order.
+func TestBatchedDistributionSameSourceFIFO(t *testing.T) {
+	cfg := Config{
+		Server:                 netip.MustParseAddrPort("127.0.0.1:53"),
+		Distributors:           1,
+		QueriersPerDistributor: 3,
+		BatchSize:              4,
+		ChannelDepth:           8192,
+	}.withDefaults()
+	st := newStats(obs.NewRegistry())
+	qs := make([]*querier, cfg.QueriersPerDistributor)
+	for i := range qs {
+		qs[i] = newQuerier(cfg, st)
+	}
+	d := newDistributor(qs, cfg)
+
+	// 8 sources, 50 queries each, interleaved in global offset order and
+	// cut into inbound batches of cycling sizes 1..5 so batch boundaries
+	// land everywhere relative to the distributor's own re-batching.
+	const sources, perSource = 8, 50
+	go func() {
+		router := newTreeRouter(1, cfg.QueriersPerDistributor)
+		seq := 0
+		cut := 1
+		b := getBatch(cfg.BatchSize)
+		for round := 0; round < perSource; round++ {
+			for s := 0; s < sources; s++ {
+				ev := &trace.Event{Src: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, byte(s)}), 5000)}
+				p := router.pick(ev.Src.Addr())
+				b.items = append(b.items, item{ev: ev, offset: time.Duration(seq), lane: p.querier})
+				seq++
+				if len(b.items) >= cut {
+					d.in <- b
+					b = getBatch(cfg.BatchSize)
+					cut = cut%5 + 1
+				}
+			}
+		}
+		if len(b.items) > 0 {
+			d.in <- b
+		} else {
+			putBatch(b)
+		}
+		close(d.in)
+	}()
+	d.run()
+
+	owner := map[netip.Addr]int{}
+	lastOffset := map[netip.Addr]time.Duration{}
+	total := 0
+	for qi, q := range qs {
+		for b := range q.in {
+			for _, it := range b.items {
+				src := it.ev.Src.Addr()
+				if prev, ok := owner[src]; ok && prev != qi {
+					t.Fatalf("source %v moved from querier %d to %d", src, prev, qi)
+				}
+				owner[src] = qi
+				if last, ok := lastOffset[src]; ok && it.offset <= last {
+					t.Fatalf("source %v reordered: offset %d after %d", src, it.offset, last)
+				}
+				lastOffset[src] = it.offset
+				total++
+			}
+		}
+	}
+	if total != sources*perSource {
+		t.Fatalf("delivered %d queries, want %d", total, sources*perSource)
+	}
+}
+
+// TestStickyLevelListMatchesScan: the incremental minimum must make the
+// same choices as the O(lanes) argmin scan it replaced, under a mix of
+// new sources and sticky hits.
+func TestStickyLevelListMatchesScan(t *testing.T) {
+	const lanes = 5
+	s := newSticky(lanes)
+	load := make([]int, lanes) // model: plain argmin
+	assign := map[netip.Addr]int{}
+	pickModel := func(src netip.Addr) int {
+		if lane, ok := assign[src]; ok {
+			load[lane]++
+			return lane
+		}
+		best := 0
+		for i, l := range load {
+			if l < load[best] {
+				best = i
+			}
+			_ = i
+		}
+		assign[src] = best
+		load[best]++
+		return best
+	}
+	// Deterministic mix: every 3rd pick revisits an old source (uneven
+	// sticky load), the rest are new.
+	for i := 0; i < 2000; i++ {
+		var src netip.Addr
+		if i%3 == 0 && i > 0 {
+			src = netip.AddrFrom4([4]byte{10, 9, byte(i % 7), byte(i % 11)})
+		} else {
+			src = netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+		}
+		if got, want := s.pick(src), pickModel(src); got != want {
+			t.Fatalf("pick %d (src %v): lane %d, scan model says %d", i, src, got, want)
+		}
+	}
+}

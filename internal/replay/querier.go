@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ldplayer/internal/trace"
@@ -12,10 +13,14 @@ import (
 
 // querier is the bottom of the distribution tree: it owns the per-source
 // connections, emulates query sources, schedules sends against the trace
-// timeline and matches responses. One goroutine runs the send loop; each
-// connection's read loop lives inside transport.Conn.
+// timeline and matches responses. One goroutine runs the send loop over
+// inbound batches; responses arrive on transport.Conn read loops (Timed,
+// and non-UDP in fast mode) or the udpSender's recvmmsg loop
+// (FastAsPossible UDP). The send path is lock-free: results live in a
+// single-writer chunked log, outstanding-query tracking is one atomic,
+// and drain blocks on a notification instead of polling.
 type querier struct {
-	in  chan item
+	in  chan *batch
 	cfg Config
 	// st is the engine-wide live accounting every querier feeds; totals
 	// are observable mid-run through the engine's obs registry.
@@ -30,9 +35,25 @@ type querier struct {
 
 	// One transport.Conn per emulated (source, protocol).
 	conns map[connKey]*transport.Conn
+	// fast is the sendmmsg data plane, created on the first
+	// FastAsPossible UDP query. Real sockets by default; a Dialer
+	// override keeps the Conn path unless the dialer is a
+	// transport.PacketDialer, whose fabric vends the shared socket.
+	fast    *udpSender
+	fastErr bool // sender creation failed once; don't retry per query
 
-	mu sync.Mutex // guards the result fields below (readers report in)
-	queryReport
+	// inflight counts queries sent but not yet answered or dropped;
+	// drainCh gets a token when it hits zero so drain() can block
+	// instead of polling.
+	inflight atomic.Int64
+	drainCh  chan struct{}
+
+	// results and the send-time edges are written only by this querier's
+	// goroutine (and, for RTT, by read loops into pre-reserved slots);
+	// report() runs after everything quiesces.
+	results   resultLog
+	firstSend time.Time
+	lastSend  time.Time
 }
 
 // queryReport is the querier's per-instance outcome: the fields that
@@ -44,11 +65,16 @@ type queryReport struct {
 }
 
 func newQuerier(cfg Config, st *stats) *querier {
+	depth := cfg.ChannelDepth / cfg.BatchSize
+	if depth < 1 {
+		depth = 1
+	}
 	return &querier{
-		in:    make(chan item, cfg.ChannelDepth),
-		cfg:   cfg,
-		st:    st,
-		conns: make(map[connKey]*transport.Conn),
+		in:      make(chan *batch, depth),
+		cfg:     cfg,
+		st:      st,
+		conns:   make(map[connKey]*transport.Conn),
+		drainCh: make(chan struct{}, 1),
 	}
 }
 
@@ -62,37 +88,110 @@ func (q *querier) sync(traceStart, realStart time.Time) {
 }
 
 func (q *querier) run(ctx context.Context) {
-	for it := range q.in {
-		if ctx.Err() != nil {
-			continue // drain without sending
-		}
-		if q.cfg.Mode == Timed {
-			var wait time.Duration
+	if q.cfg.Mode == FastAsPossible {
+		q.runFast(ctx)
+	} else {
+		q.runTimed(ctx)
+	}
+	q.drain()
+}
+
+// runTimed paces each query to its trace offset through the wheel. The
+// naive ablation keeps its historical shape — a raw gap sleep per query,
+// no bucketing — so the drift it exists to demonstrate is untouched.
+func (q *querier) runTimed(ctx context.Context) {
+	w := newWheel(q.cfg.PacingGranularity)
+	defer w.stop()
+	for b := range q.in {
+		for i := range b.items {
+			it := b.items[i]
+			if ctx.Err() != nil {
+				continue // drain without sending
+			}
 			if q.cfg.NaiveTiming {
 				// Ablation: sleep the raw gap since the previous query,
 				// ignoring time already consumed — drift accumulates.
-				wait = it.offset - q.lastOffset
+				wait := it.offset - q.lastOffset
 				q.lastOffset = it.offset
-			} else {
-				// ΔTᵢ = Δt̄ᵢ − Δtᵢ: the trace-relative target minus the
-				// real time already consumed by input processing and
-				// distribution (the paper's continuous compensation).
-				wait = it.offset - time.Since(q.realStart)
-			}
-			if wait > 0 {
-				timer := time.NewTimer(wait)
-				select {
-				case <-timer.C:
-				case <-ctx.Done():
-					timer.Stop()
+				if wait > 0 && !w.sleep(ctx, wait) {
 					continue
 				}
+			} else if !w.sleepUntil(ctx, q.realStart, it.offset) {
+				// ΔTᵢ = Δt̄ᵢ − Δtᵢ: the wheel's deadline is the
+				// trace-relative target measured from realStart, so time
+				// consumed by input processing and distribution is
+				// continuously compensated (at bucket resolution).
+				continue
 			}
-			// Behind schedule (wait <= 0): send immediately, no timer.
+			q.send(it)
 		}
-		q.send(it)
+		putBatch(b)
 	}
-	q.drain()
+}
+
+// runFast sends as fast as the pipeline moves. UDP queries coalesce
+// into pooled datagram batches flushed through sendmmsg; stream
+// protocols fall through to the per-source Conn path. The pooled
+// transport batch is a function local on purpose: its lifetime is
+// exactly this loop, never stored.
+func (q *querier) runFast(ctx context.Context) {
+	msp := transport.GetBatch()
+	defer transport.PutBatch(msp)
+	ms := *msp
+	fill := 0
+	for b := range q.in {
+		// One clock read covers the whole batch's send timestamps; see
+		// stage for the precision argument.
+		now := time.Now()
+		nowNs := now.UnixNano()
+		for i := range b.items {
+			it := b.items[i]
+			if ctx.Err() != nil {
+				continue
+			}
+			if it.ev.Proto == trace.UDP && q.fastSender() != nil {
+				fill = q.fast.stage(ms, fill, it, now, nowNs)
+				if fill == len(ms) {
+					q.fast.flush(ms)
+					fill = 0
+				}
+			} else {
+				q.send(it)
+			}
+		}
+		putBatch(b)
+		if fill > 0 && len(q.in) == 0 {
+			// Inbound went idle: don't sit on staged queries.
+			q.fast.flush(ms[:fill])
+			fill = 0
+		}
+	}
+	if fill > 0 {
+		q.fast.flush(ms[:fill])
+	}
+}
+
+// fastSender lazily builds the sendmmsg plane; nil means this config
+// (or a socket failure) keeps UDP on the Conn path.
+func (q *querier) fastSender() *udpSender {
+	if q.fast != nil {
+		return q.fast
+	}
+	if q.fastErr {
+		return nil
+	}
+	if q.cfg.Dialer != nil {
+		if _, ok := q.cfg.Dialer.(transport.PacketDialer); !ok {
+			return nil
+		}
+	}
+	s, err := newUDPSender(q)
+	if err != nil {
+		q.fastErr = true
+		return nil
+	}
+	q.fast = s
+	return s
 }
 
 // send dispatches one query on the right connection for its source. The
@@ -101,60 +200,55 @@ func (q *querier) run(ctx context.Context) {
 func (q *querier) send(it item) {
 	now := time.Now()
 	idx := -1
+	var slot *QueryResult
 	if !q.cfg.DropResults {
-		q.mu.Lock()
-		q.results = append(q.results, QueryResult{
+		idx, slot = q.results.reserve()
+		*slot = QueryResult{
 			TraceOffset: it.offset,
 			SentOffset:  now.Sub(q.realStart),
 			RTT:         -1,
 			Proto:       it.ev.Proto,
 			Src:         it.ev.Src.Addr(),
-		})
-		idx = len(q.results) - 1
-		q.mu.Unlock()
+		}
 	}
 	c := q.connFor(it.ev.Src.Addr(), it.ev.Proto)
 	fresh, err := c.Send(it.ev.Wire, idx)
-
+	if slot != nil && it.ev.Proto != trace.UDP {
+		slot.FreshConn = fresh
+	}
 	if err != nil {
 		q.st.sendErrs.Inc()
 		if errors.Is(err, transport.ErrIDSpaceExhausted) {
 			q.st.idExhausted.Inc()
 		}
-	} else {
-		q.st.sent.Inc()
-		q.st.bytesSent.Add(uint64(len(it.ev.Wire)))
-		q.st.observeSend(it.offset, now.Sub(q.realStart))
-		if fresh && it.ev.Proto != trace.UDP {
-			q.st.connsOpened.Inc()
-		}
-	}
-
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if idx >= 0 && it.ev.Proto != trace.UDP {
-		q.results[idx].FreshConn = fresh
-	}
-	if err != nil {
 		return
 	}
+	q.st.sent.Inc()
+	q.st.bytesSent.Add(uint64(len(it.ev.Wire)))
+	q.st.observeSend(it.offset, now.Sub(q.realStart))
+	if fresh && it.ev.Proto != trace.UDP {
+		q.st.connsOpened.Inc()
+	}
+	q.inflight.Add(1)
 	if q.firstSend.IsZero() {
 		q.firstSend = now
 	}
 	q.lastSend = now
 }
 
-// recordResponse is called from connection read loops.
-func (q *querier) recordResponse(resultIdx int, rtt time.Duration) {
+// recordResponse is called from connection read loops. The slot write
+// needs no lock: the index was reserved before the Send that produced
+// this callback, and RTT is the callback's exclusive field.
+func (q *querier) recordResponse(idx int, rtt time.Duration) {
 	q.st.responses.Inc()
 	q.st.rtt.ObserveDuration(rtt)
-	if q.cfg.DropResults {
-		return
+	if !q.cfg.DropResults {
+		if r := q.results.at(idx); r != nil {
+			r.RTT = rtt
+		}
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if resultIdx >= 0 && resultIdx < len(q.results) {
-		q.results[resultIdx].RTT = rtt
+	if q.inflight.Add(-1) == 0 {
+		q.notifyDrain()
 	}
 }
 
@@ -163,35 +257,51 @@ func (q *querier) recordResponse(resultIdx int, rtt time.Duration) {
 // out from the trace's point of view.
 func (q *querier) recordDrop() {
 	q.st.timeouts.Inc()
+	if q.inflight.Add(-1) == 0 {
+		q.notifyDrain()
+	}
 }
 
-// drain waits for outstanding responses, then closes the connections
-// (failing any stragglers out through recordDrop). Connection counts
-// were accounted live at send time, so nothing is folded here.
+// notifyDrain wakes drain() without blocking the read loop that calls
+// it; the buffered token coalesces duplicate wake-ups.
+func (q *querier) notifyDrain() {
+	select {
+	case q.drainCh <- struct{}{}:
+	default:
+	}
+}
+
+// drain waits for outstanding responses — woken by the read loops, not
+// polling — then closes the connections (failing stragglers out through
+// recordDrop) and waits for their read loops so report() runs against
+// quiesced storage.
 func (q *querier) drain() {
-	deadline := time.Now().Add(q.cfg.ResponseTimeout)
-	for time.Now().Before(deadline) {
-		if q.outstanding() == 0 {
-			break
+	deadline := time.NewTimer(q.cfg.ResponseTimeout)
+	defer deadline.Stop()
+wait:
+	for q.inflight.Load() > 0 {
+		select {
+		case <-q.drainCh:
+		case <-deadline.C:
+			break wait
 		}
-		time.Sleep(5 * time.Millisecond)
+	}
+	if q.fast != nil {
+		q.fast.close()
 	}
 	for _, c := range q.conns {
 		c.Close()
 	}
-}
-
-func (q *querier) outstanding() int {
-	n := 0
 	for _, c := range q.conns {
-		n += c.Pending()
+		c.Wait()
 	}
-	return n
 }
 
 // report returns the merged outcome after run() finishes.
 func (q *querier) report() queryReport {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.queryReport
+	return queryReport{
+		firstSend: q.firstSend,
+		lastSend:  q.lastSend,
+		results:   q.results.snapshot(),
+	}
 }

@@ -1,0 +1,300 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+
+	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
+)
+
+// The reference data plane: the engine exactly as it was before the
+// batched rebuild — one channel operation per query, one time.NewTimer
+// per Timed wait, per-query transport.Conn sends, results appended
+// under a mutex, drain by 5 ms polling. It is kept runnable (not as
+// dead history) so the speedup gate in `make bench-check` measures the
+// batched plane against it in the same run on the same hardware, and so
+// conformance tests can assert the two planes produce equivalent
+// replays. Enabled by Config.Reference.
+
+// runReference mirrors runBatched over per-item channels.
+func runReference(ctx context.Context, cfg Config, st *stats, input trace.Reader) ([]queryReport, error) {
+	var queriers []*refQuerier
+	var dists []*refDistributor
+	if cfg.DirectDistribution {
+		n := cfg.Distributors * cfg.QueriersPerDistributor
+		for i := 0; i < n; i++ {
+			queriers = append(queriers, newRefQuerier(cfg, st))
+		}
+	} else {
+		dists = make([]*refDistributor, cfg.Distributors)
+		for d := range dists {
+			qs := make([]*refQuerier, cfg.QueriersPerDistributor)
+			for qi := range qs {
+				q := newRefQuerier(cfg, st)
+				qs[qi] = q
+				queriers = append(queriers, q)
+			}
+			dists[d] = &refDistributor{
+				in:       make(chan item, cfg.ChannelDepth),
+				queriers: qs,
+				router:   newSticky(len(qs)),
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, d := range dists {
+		wg.Add(1)
+		go func() { defer wg.Done(); d.run() }()
+	}
+	for _, q := range queriers {
+		wg.Add(1)
+		go func() { defer wg.Done(); q.run(ctx) }()
+	}
+
+	lanes := len(dists)
+	if cfg.DirectDistribution {
+		lanes = len(queriers)
+	}
+	router := newSticky(lanes)
+	var traceStart time.Time
+	started := false
+	readErr := func() error {
+		defer func() {
+			if cfg.DirectDistribution {
+				for _, q := range queriers {
+					close(q.in)
+				}
+			}
+			for _, d := range dists {
+				close(d.in)
+			}
+		}()
+		for {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			ev, err := input.Read()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+			if !ev.IsQuery() {
+				continue
+			}
+			if !started {
+				traceStart = ev.Time
+				realStart := time.Now()
+				for _, q := range queriers {
+					q.sync(traceStart, realStart)
+				}
+				started = true
+			}
+			it := item{ev: ev, offset: ev.Time.Sub(traceStart)}
+			if cfg.DirectDistribution {
+				queriers[router.pick(ev.Src.Addr())].in <- it
+			} else {
+				dists[router.pick(ev.Src.Addr())].in <- it
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	reports := make([]queryReport, 0, len(queriers))
+	for _, q := range queriers {
+		reports = append(reports, q.report())
+	}
+	return reports, readErr
+}
+
+// refDistributor forwards items one at a time.
+type refDistributor struct {
+	in       chan item
+	queriers []*refQuerier
+	router   *sticky
+}
+
+func (d *refDistributor) run() {
+	for it := range d.in {
+		d.queriers[d.router.pick(it.ev.Src.Addr())].in <- it
+	}
+	for _, q := range d.queriers {
+		close(q.in)
+	}
+}
+
+// refQuerier is the pre-batching querier, preserved behavior for
+// behavior: per-item channel, a fresh timer per Timed wait, results
+// appended under the mutex that every response callback also takes.
+type refQuerier struct {
+	in  chan item
+	cfg Config
+	st  *stats
+
+	syncOnce   sync.Once
+	traceStart time.Time
+	realStart  time.Time
+	lastOffset time.Duration
+
+	conns map[connKey]*transport.Conn
+
+	mu sync.Mutex // guards the result fields below (readers report in)
+	queryReport
+}
+
+func newRefQuerier(cfg Config, st *stats) *refQuerier {
+	return &refQuerier{
+		in:    make(chan item, cfg.ChannelDepth),
+		cfg:   cfg,
+		st:    st,
+		conns: make(map[connKey]*transport.Conn),
+	}
+}
+
+func (q *refQuerier) sync(traceStart, realStart time.Time) {
+	q.syncOnce.Do(func() {
+		q.traceStart = traceStart
+		q.realStart = realStart
+	})
+}
+
+func (q *refQuerier) run(ctx context.Context) {
+	for it := range q.in {
+		if ctx.Err() != nil {
+			continue // drain without sending
+		}
+		if q.cfg.Mode == Timed {
+			var wait time.Duration
+			if q.cfg.NaiveTiming {
+				wait = it.offset - q.lastOffset
+				q.lastOffset = it.offset
+			} else {
+				wait = it.offset - time.Since(q.realStart)
+			}
+			if wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					continue
+				}
+			}
+		}
+		q.send(it)
+	}
+	q.drain()
+}
+
+func (q *refQuerier) send(it item) {
+	now := time.Now()
+	idx := -1
+	if !q.cfg.DropResults {
+		q.mu.Lock()
+		q.results = append(q.results, QueryResult{
+			TraceOffset: it.offset,
+			SentOffset:  now.Sub(q.realStart),
+			RTT:         -1,
+			Proto:       it.ev.Proto,
+			Src:         it.ev.Src.Addr(),
+		})
+		idx = len(q.results) - 1
+		q.mu.Unlock()
+	}
+	c := q.connFor(it.ev.Src.Addr(), it.ev.Proto)
+	fresh, err := c.Send(it.ev.Wire, idx)
+
+	if err != nil {
+		q.st.sendErrs.Inc()
+		if errors.Is(err, transport.ErrIDSpaceExhausted) {
+			q.st.idExhausted.Inc()
+		}
+	} else {
+		q.st.sent.Inc()
+		q.st.bytesSent.Add(uint64(len(it.ev.Wire)))
+		q.st.observeSend(it.offset, now.Sub(q.realStart))
+		if fresh && it.ev.Proto != trace.UDP {
+			q.st.connsOpened.Inc()
+		}
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if idx >= 0 && it.ev.Proto != trace.UDP {
+		q.results[idx].FreshConn = fresh
+	}
+	if err != nil {
+		return
+	}
+	if q.firstSend.IsZero() {
+		q.firstSend = now
+	}
+	q.lastSend = now
+}
+
+func (q *refQuerier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
+	key := connKey{src: src, proto: proto}
+	if c := q.conns[key]; c != nil {
+		return c
+	}
+	c := newSourceConn(q.cfg, q.st, proto, q.recordResponse, q.recordDrop)
+	q.conns[key] = c
+	return c
+}
+
+func (q *refQuerier) recordResponse(resultIdx int, rtt time.Duration) {
+	q.st.responses.Inc()
+	q.st.rtt.ObserveDuration(rtt)
+	if q.cfg.DropResults {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if resultIdx >= 0 && resultIdx < len(q.results) {
+		q.results[resultIdx].RTT = rtt
+	}
+}
+
+func (q *refQuerier) recordDrop() {
+	q.st.timeouts.Inc()
+}
+
+// drain waits for outstanding responses by polling — the behavior the
+// notification-based drain replaced — then closes the connections.
+func (q *refQuerier) drain() {
+	deadline := time.Now().Add(q.cfg.ResponseTimeout)
+	for time.Now().Before(deadline) {
+		if q.outstanding() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, c := range q.conns {
+		c.Close()
+	}
+	for _, c := range q.conns {
+		c.Wait()
+	}
+}
+
+func (q *refQuerier) outstanding() int {
+	n := 0
+	for _, c := range q.conns {
+		n += c.Pending()
+	}
+	return n
+}
+
+func (q *refQuerier) report() queryReport {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queryReport
+}

@@ -1,0 +1,89 @@
+package replay
+
+import "sync/atomic"
+
+// resultLog is the querier's per-query result storage, built so the
+// send path never takes a lock: the querier goroutine (single writer)
+// reserves slots, and connection read loops write each response's RTT
+// into its already-reserved slot. The old design appended to a slice
+// under a mutex, putting a lock acquisition on every send AND every
+// response; here the only shared mutation is an atomic pointer load.
+//
+// Safety argument: slots live in fixed-size chunks that never move. The
+// chunk directory grows copy-on-write — reserve installs a new
+// directory before handing out a slot from the new chunk, so any reader
+// holding that slot's index observes a directory that contains its
+// chunk (the reserve's atomic Store happens before the Send that
+// publishes the index, which happens before the response callback).
+// Writer and reader touch disjoint fields of a slot (reserve fills the
+// descriptive fields before Send; the callback writes RTT after),
+// and snapshot runs only after Close()+Wait() quiesces every callback.
+
+// resultChunkLen balances directory churn against slack: 1024 slots is
+// one directory append per ~64 KiB of results.
+const resultChunkLen = 1024
+
+type resultChunk [resultChunkLen]QueryResult
+
+type resultLog struct {
+	dir atomic.Pointer[[]*resultChunk]
+	n   int // slots reserved; owned by the single reserving goroutine
+}
+
+// reserve hands out the next slot. Single-writer: only the owning
+// querier goroutine calls it.
+func (l *resultLog) reserve() (int, *QueryResult) {
+	ci, si := l.n/resultChunkLen, l.n%resultChunkLen
+	dirp := l.dir.Load()
+	if si == 0 {
+		var old []*resultChunk
+		if dirp != nil {
+			old = *dirp
+		}
+		nd := make([]*resultChunk, len(old)+1)
+		copy(nd, old)
+		nd[len(old)] = new(resultChunk)
+		l.dir.Store(&nd)
+		dirp = &nd
+	}
+	idx := l.n
+	l.n++
+	return idx, &(*dirp)[ci][si]
+}
+
+// at returns the slot for a reserved index; any goroutine may call it.
+func (l *resultLog) at(idx int) *QueryResult {
+	if idx < 0 {
+		return nil
+	}
+	dirp := l.dir.Load()
+	if dirp == nil {
+		return nil
+	}
+	ci := idx / resultChunkLen
+	if ci >= len(*dirp) {
+		return nil
+	}
+	return &(*dirp)[ci][idx%resultChunkLen]
+}
+
+// snapshot copies every reserved slot out as a flat slice. Callers must
+// have quiesced all writers first (run() returned, conns closed and
+// waited).
+func (l *resultLog) snapshot() []QueryResult {
+	if l.n == 0 {
+		return nil
+	}
+	out := make([]QueryResult, 0, l.n)
+	dir := *l.dir.Load()
+	left := l.n
+	for _, c := range dir {
+		take := left
+		if take > resultChunkLen {
+			take = resultChunkLen
+		}
+		out = append(out, c[:take]...)
+		left -= take
+	}
+	return out
+}

@@ -16,7 +16,9 @@ import (
 // connection reuse works exactly as in the paper (§2.6). Query-ID
 // rewriting, pending tracking, idle-timeout reuse and reconnect-on-error
 // all live in transport.Conn; this file only maps trace sources onto
-// Conns and wires the querier's accounting into the Conn callbacks.
+// Conns and wires querier accounting into the Conn callbacks — shared
+// by the batched querier and the reference one, so the two planes
+// differ only in scheduling, never in connection semantics.
 
 // connKey identifies one emulated source connection: sources that mix
 // protocols (rare in real traces, common in tests) get one connection
@@ -26,16 +28,15 @@ type connKey struct {
 	proto trace.Proto
 }
 
-// connFor returns (creating on first use) the connection for a source.
-func (q *querier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
-	key := connKey{src: src, proto: proto}
-	if c := q.conns[key]; c != nil {
-		return c
-	}
-	cfg := transport.ConnConfig{
-		Dial: q.dialFunc(proto),
+// newSourceConn builds the transport.Conn for one emulated source.
+// Tokens are resultLog/results indexes (-1 when results are dropped);
+// onResponse and onDrop are the querier's accounting hooks.
+func newSourceConn(cfg Config, st *stats, proto trace.Proto,
+	onResponse func(idx int, rtt time.Duration), onDrop func()) *transport.Conn {
+	ccfg := transport.ConnConfig{
+		Dial: dialFunc(cfg, proto),
 		OnResponse: func(token any, rtt time.Duration, _ []byte) {
-			q.recordResponse(token.(int), rtt)
+			onResponse(token.(int), rtt)
 		},
 		// The decoded view (read loop's pooled message, zero extra
 		// allocation) feeds the per-rcode breakdown — the live view of
@@ -43,17 +44,26 @@ func (q *querier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
 		// errors, which raw wire matching cannot see.
 		OnResponseMsg: func(_ any, _ time.Duration, m *dnsmsg.Msg) {
 			if m == nil {
-				q.st.badResponses.Inc()
+				st.badResponses.Inc()
 				return
 			}
-			q.st.countRcode(m.Rcode)
+			st.countRcode(m.Rcode)
 		},
-		OnDrop: func(any) { q.recordDrop() },
+		OnDrop: func(any) { onDrop() },
 	}
 	if proto != trace.UDP {
-		cfg.IdleTimeout = q.cfg.ConnIdleTimeout
+		ccfg.IdleTimeout = cfg.ConnIdleTimeout
 	}
-	c := transport.NewConn(cfg)
+	return transport.NewConn(ccfg)
+}
+
+// connFor returns (creating on first use) the connection for a source.
+func (q *querier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
+	key := connKey{src: src, proto: proto}
+	if c := q.conns[key]; c != nil {
+		return c
+	}
+	c := newSourceConn(q.cfg, q.st, proto, q.recordResponse, q.recordDrop)
 	q.conns[key] = c
 	return c
 }
@@ -61,8 +71,7 @@ func (q *querier) connFor(src netip.Addr, proto trace.Proto) *transport.Conn {
 // dialFunc builds the per-protocol dialer a source connection uses.
 // Config.Dialer substitutes the endpoint fabric (e.g. vnet) without the
 // querier knowing; real sockets are the default.
-func (q *querier) dialFunc(proto trace.Proto) func() (transport.Endpoint, error) {
-	cfg := q.cfg
+func dialFunc(cfg Config, proto trace.Proto) func() (transport.Endpoint, error) {
 	dialer := cfg.Dialer
 	if dialer == nil {
 		dialer = &transport.NetDialer{TLSConfig: cfg.TLSConfig}

@@ -1,0 +1,226 @@
+package replay
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldplayer/internal/dnsmsg"
+	"ldplayer/internal/obs"
+	"ldplayer/internal/trace"
+	"ldplayer/internal/transport"
+)
+
+// udpSender is the FastAsPossible UDP data plane: one unconnected
+// socket per querier, sends coalesced into transport.UDPBatch writes
+// (sendmmsg on Linux — one syscall per ~32 queries), responses matched
+// by a lock-free DNS-ID slot table instead of transport.Conn's pending
+// map. Per-source sockets don't matter in fast mode — it exists to
+// measure server-side throughput (§4.3), not client fidelity — so the
+// whole querier shares one 65536-wide ID space and one 4-tuple.
+//
+// Slot protocol (the loadgen idiom): sendNs[id] holds the send time in
+// unix nanos and doubles as the liveness marker. The sender zeroes the
+// slot, stores the result index, then stores the send time; the reader
+// Swap(0)s the send time and, if it was live, reads the result index.
+// Wrapping past a still-live slot means the response never came within
+// a full ID space of sends — counted as a timeout, exactly like
+// loadgen.
+type udpSender struct {
+	q   *querier
+	pc  net.PacketConn
+	wb  *transport.UDPBatch // sender side, owned by the querier goroutine
+	dst netip.AddrPort
+
+	sendNs []atomic.Int64 // 65536: send unix-nanos, 0 = slot free
+	resIdx []atomic.Int64 // 65536: resultLog index for the slot, -1 = none
+	nextID uint32         // querier goroutine only
+
+	// Per-flush accumulators (querier goroutine only): shared counters,
+	// the send-lag histogram and the inflight atomic are touched once
+	// per batch, not per query.
+	pendBytes  uint64
+	pendCount  int64
+	lastOffset time.Duration
+	lastWall   time.Duration
+	lagBatch   *obs.HistogramBatch
+
+	readerWG sync.WaitGroup
+}
+
+func newUDPSender(q *querier) (*udpSender, error) {
+	var pc net.PacketConn
+	if pd, ok := q.cfg.Dialer.(transport.PacketDialer); ok {
+		// Injected fabric (vnet, test harnesses): the dialer vends the
+		// shared socket and UDPBatch rides its batch path if it has one.
+		c, err := pd.ListenPacketConn()
+		if err != nil {
+			return nil, err
+		}
+		pc = c
+	} else {
+		c, err := transport.ListenUDPUnconnected(q.cfg.Server)
+		if err != nil {
+			return nil, err
+		}
+		pc = c
+	}
+	s := &udpSender{
+		q:        q,
+		pc:       pc,
+		wb:       transport.NewUDPBatch(pc),
+		dst:      q.cfg.Server,
+		sendNs:   make([]atomic.Int64, 1<<16),
+		resIdx:   make([]atomic.Int64, 1<<16),
+		lagBatch: q.st.sendLag.NewBatch(),
+	}
+	s.readerWG.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// stage copies one query into ms[fill] with a fresh DNS ID patched in,
+// registers its slot, and returns the new fill level. The caller owns
+// ms (a pooled transport batch held as a local) and flushes when full.
+//
+// The clock (now, nowNs) is read once per inbound batch by the caller:
+// at millions of qps a staged batch spans microseconds, well inside the
+// send-timestamp precision the results claim, and the per-query vDSO
+// call was one of the largest single costs on the old send path.
+func (s *udpSender) stage(ms []transport.Datagram, fill int, it item, now time.Time, nowNs int64) int {
+	idx := int64(-1)
+	wall := now.Sub(s.q.realStart)
+	if !s.q.cfg.DropResults {
+		i, slot := s.q.results.reserve()
+		*slot = QueryResult{
+			TraceOffset: it.offset,
+			SentOffset:  wall,
+			RTT:         -1,
+			Proto:       trace.UDP,
+			Src:         it.ev.Src.Addr(),
+		}
+		idx = int64(i)
+	}
+	id := uint16(s.nextID)
+	s.nextID++
+	if s.sendNs[id].Swap(0) != 0 {
+		// Wrapped onto a live slot: the query a full ID space ago never
+		// got its response.
+		s.q.st.timeouts.Inc()
+		s.q.inflight.Add(-1)
+	}
+	s.resIdx[id].Store(idx)
+	d := &ms[fill]
+	d.Buf = append(d.Buf[:0], it.ev.Wire...)
+	d.Buf[0], d.Buf[1] = byte(id>>8), byte(id)
+	d.Addr = s.dst
+	s.sendNs[id].Store(nowNs)
+	// Every sample still lands in the histograms, but through local
+	// batch accumulators; counters, gauges and the inflight atomic are
+	// likewise deferred to flush, one update per batch.
+	if lag := wall - it.offset; lag > 0 {
+		s.lagBatch.ObserveDuration(lag)
+	} else {
+		s.lagBatch.ObserveDuration(0)
+	}
+	s.pendBytes += uint64(len(it.ev.Wire))
+	s.pendCount++
+	s.lastOffset, s.lastWall = it.offset, wall
+	return fill + 1
+}
+
+// flush hands the staged datagrams to the kernel and settles the
+// deferred per-batch accounting. Datagrams the kernel refused
+// (WriteBatch skips per-datagram failures) are send errors; their slots
+// stay live and age out via the wrap/close sweeps.
+func (s *udpSender) flush(ms []transport.Datagram) {
+	if len(ms) == 0 {
+		return
+	}
+	// Inflight rises before the write: a response can race back the
+	// moment WriteBatch releases the datagrams.
+	s.q.inflight.Add(s.pendCount)
+	s.q.st.bytesSent.Add(s.pendBytes)
+	s.q.st.traceOffset.Set(s.lastOffset.Seconds())
+	s.q.st.wallOffset.Set(s.lastWall.Seconds())
+	s.lagBatch.Flush()
+	s.pendBytes, s.pendCount = 0, 0
+	now := time.Now()
+	//ldp:nolint errcheck — a fatal write error surfaces as n < len(ms); the shortfall is counted into sendErrs below either way
+	n, _ := s.wb.WriteBatch(ms)
+	s.q.st.sent.Add(uint64(n))
+	if short := len(ms) - n; short > 0 {
+		s.q.st.sendErrs.Add(uint64(short))
+	}
+	if s.q.firstSend.IsZero() {
+		s.q.firstSend = now
+	}
+	s.q.lastSend = now
+}
+
+// readLoop drains responses in batches (recvmmsg) until the socket
+// closes, matching each by DNS ID through the slot table.
+func (s *udpSender) readLoop() {
+	defer s.readerWG.Done()
+	rb := transport.NewUDPBatch(s.pc)
+	rtts := s.q.st.rtt.NewBatch() // this goroutine's local accumulator
+	msp := transport.GetBatch()
+	defer transport.PutBatch(msp)
+	ms := *msp
+	for {
+		n, err := rb.ReadBatch(ms)
+		if err != nil {
+			return // socket closed at drain (or fatally broken)
+		}
+		// One clock read per batch, RTTs in raw nanos: time.Unix plus
+		// Time.Sub per response was measurable at millions of qps.
+		nowNs := time.Now().UnixNano()
+		matched := int64(0)
+		for i := range ms[:n] {
+			buf := ms[i].Buf[:ms[i].N]
+			if len(buf) < 4 {
+				continue
+			}
+			id := uint16(buf[0])<<8 | uint16(buf[1])
+			sentNs := s.sendNs[id].Swap(0)
+			if sentNs == 0 {
+				continue // unmatched, duplicate, or already swept
+			}
+			rtt := time.Duration(nowNs - sentNs)
+			matched++
+			rtts.ObserveDuration(rtt)
+			// Rcode straight from the header nibble: the fast path skips
+			// the full decode the Conn read loop does, keeping the
+			// per-rcode breakdown without per-response parsing.
+			s.q.st.countRcode(dnsmsg.Rcode(buf[3] & 0x0f))
+			if idx := s.resIdx[id].Load(); idx >= 0 {
+				if r := s.q.results.at(int(idx)); r != nil {
+					r.RTT = rtt
+				}
+			}
+		}
+		if matched > 0 {
+			rtts.Flush()
+			s.q.st.responses.Add(uint64(matched))
+			if s.q.inflight.Add(-matched) == 0 {
+				s.q.notifyDrain()
+			}
+		}
+	}
+}
+
+// close tears the sender down: closes the socket (unblocking the read
+// loop), waits for it, then sweeps still-live slots as timeouts so the
+// drain accounting matches the Conn path's OnDrop semantics.
+func (s *udpSender) close() {
+	s.pc.Close() //ldp:nolint errcheck — teardown; the read loop exits on the close either way
+	s.readerWG.Wait()
+	for i := range s.sendNs {
+		if s.sendNs[i].Swap(0) != 0 {
+			s.q.st.timeouts.Inc()
+			s.q.inflight.Add(-1)
+		}
+	}
+}

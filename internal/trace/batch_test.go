@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func batchTestEvents(n int) []*Event {
+	evs := make([]*Event, n)
+	for i := range evs {
+		evs[i] = &Event{
+			Time:  time.Unix(1000, int64(i)*1e6),
+			Src:   netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}), 5000),
+			Dst:   netip.MustParseAddrPort("192.0.2.1:53"),
+			Proto: UDP,
+			Wire:  []byte{0, byte(i), 0x00, 0x00, 0, 0, 0, 0, 0, 0, 0, 0},
+		}
+	}
+	return evs
+}
+
+// TestBinaryReadBatch: the bulk path delivers full batches, a short
+// tail with nil error, then io.EOF on the empty call.
+func TestBinaryReadBatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	evs := batchTestEvents(10)
+	for _, e := range evs {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewBinaryReader(&buf)
+	dst := make([]*Event, 4)
+	var got []*Event
+	counts := []int{}
+	for {
+		n, err := r.ReadBatch(dst)
+		if err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		if n == 0 {
+			t.Fatal("ReadBatch returned 0 with nil error")
+		}
+		counts = append(counts, n)
+		got = append(got, dst[:n]...)
+		dst = make([]*Event, 4) // don't alias previous rounds
+	}
+	if want := []int{4, 4, 2}; len(counts) != 3 || counts[0] != 4 || counts[1] != 4 || counts[2] != 2 {
+		t.Fatalf("batch counts %v, want %v", counts, want)
+	}
+	for i, e := range got {
+		if e.ID() != evs[i].ID() || !e.Time.Equal(evs[i].Time) {
+			t.Fatalf("event %d mismatch: id=%d time=%v", i, e.ID(), e.Time)
+		}
+	}
+}
+
+// TestReadSome: bulk sources go through ReadBatch; plain Readers
+// deliver exactly one event per call so a paced live source is never
+// held hostage to batch-mates.
+func TestReadSome(t *testing.T) {
+	evs := batchTestEvents(6)
+
+	plain := &sliceOnlyReader{events: evs}
+	dst := make([]*Event, 4)
+	n, err := ReadSome(plain, dst)
+	if err != nil || n != 1 {
+		t.Fatalf("plain reader: n=%d err=%v, want 1 event per call", n, err)
+	}
+
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, e := range evs {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err = ReadSome(NewBinaryReader(&buf), dst)
+	if err != nil || n != 4 {
+		t.Fatalf("batch reader: n=%d err=%v, want a full batch", n, err)
+	}
+}
+
+type sliceOnlyReader struct {
+	events []*Event
+	i      int
+}
+
+func (s *sliceOnlyReader) Read() (*Event, error) {
+	if s.i >= len(s.events) {
+		return nil, io.EOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, nil
+}

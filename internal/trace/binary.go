@@ -105,6 +105,24 @@ func (br *BinaryReader) Read() (*Event, error) {
 	return e, nil
 }
 
+// ReadBatch implements BatchReader: it decodes up to len(dst) records
+// in one call, stopping early (short count, nil error) only at end of
+// stream so the replay controller's batch loop never blocks holding a
+// partial batch. The per-record decode is shared with Read.
+func (br *BinaryReader) ReadBatch(dst []*Event) (int, error) {
+	for i := range dst {
+		e, err := br.Read()
+		if err != nil {
+			if i > 0 {
+				return i, nil // terminal error re-surfaces on the next call
+			}
+			return 0, err
+		}
+		dst[i] = e
+	}
+	return len(dst), nil
+}
+
 func unmap(a netip.Addr) netip.Addr { return a.Unmap() }
 
 func unixNano(ns int64) time.Time { return time.Unix(0, ns) }

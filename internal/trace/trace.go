@@ -187,6 +187,42 @@ type Reader interface {
 	Read() (*Event, error)
 }
 
+// BatchReader is the bulk fast path some Readers additionally implement:
+// ReadBatch fills dst with up to len(dst) events and returns how many it
+// delivered. A short count is not an error — it means the source had
+// fewer events immediately available (end of file, or a live stream that
+// would block). ReadBatch returns n > 0 with a nil error even when the
+// source ends mid-batch; the terminal io.EOF (or read error) surfaces on
+// the next call, so callers never lose the tail. The replay controller
+// probes for this interface and amortizes per-event call overhead ~batch
+// times when the input provides it.
+type BatchReader interface {
+	Reader
+	ReadBatch(dst []*Event) (int, error)
+}
+
+// ReadSome reads up to len(dst) events from r: the bulk path when r
+// implements BatchReader, a single Read otherwise. The single-event
+// fallback is deliberate — a plain Reader has no way to say "nothing
+// more buffered", so looping Read to fill dst would hold early events
+// hostage to the arrival of later ones (fatal for a live, paced
+// source). A short count with nil error is normal; io.EOF (or a read
+// error) surfaces on the call that has nothing to deliver.
+func ReadSome(r Reader, dst []*Event) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.ReadBatch(dst)
+	}
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	e, err := r.Read()
+	if err != nil {
+		return 0, err
+	}
+	dst[0] = e
+	return 1, nil
+}
+
 // Writer consumes a stream of events.
 type Writer interface {
 	Write(*Event) error

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"net/netip"
+	"sync"
 )
 
 // Datagram is one UDP message in a batch: payload storage plus the peer
@@ -29,18 +30,44 @@ type Datagram struct {
 // kernel serializes datagram delivery per fd.
 type UDPBatch struct {
 	pc  net.PacketConn
+	bc  BatchConn // non-nil when pc moves batches natively
 	sys *batchSys // non-nil when the platform fast path is usable
+}
+
+// BatchConn is implemented by PacketConns that move whole datagram
+// batches per operation without a kernel in between (in-process
+// fabrics). The contract mirrors UDPBatch: on write, each Datagram's
+// Buf is the exact wire image and Addr the destination; on read, the
+// implementation fills Buf, sets N and Addr, and returns how many
+// slots it used. UDPBatch delegates to it when present, so batch-aware
+// consumers stay batched end to end off real sockets too.
+type BatchConn interface {
+	ReadBatch(ms []Datagram) (int, error)
+	WriteBatch(ms []Datagram) (int, error)
+}
+
+// ListenUDPUnconnected opens the unconnected UDP socket the replay fast
+// path shares across a querier's sends. The socket family must match the
+// destination: an unconnected dual-stack socket rejects AF_INET
+// sockaddrs at sendmmsg time.
+func ListenUDPUnconnected(dst netip.AddrPort) (net.PacketConn, error) {
+	network := "udp6"
+	if dst.Addr().Unmap().Is4() {
+		network = "udp4"
+	}
+	return net.ListenUDP(network, nil)
 }
 
 // NewUDPBatch wraps pc for batched I/O, detecting whether the platform
 // fast path applies. Batched reports which path was selected.
 func NewUDPBatch(pc net.PacketConn) *UDPBatch {
-	return &UDPBatch{pc: pc, sys: newBatchSys(pc)}
+	bc, _ := pc.(BatchConn)
+	return &UDPBatch{pc: pc, bc: bc, sys: newBatchSys(pc)}
 }
 
 // Batched reports whether reads and writes move multiple datagrams per
-// syscall (false on the portable fallback).
-func (b *UDPBatch) Batched() bool { return b.sys != nil }
+// operation (false on the portable fallback).
+func (b *UDPBatch) Batched() bool { return b.sys != nil || b.bc != nil }
 
 // ReadBatch blocks until at least one datagram is available and fills
 // as many of ms as one syscall yields, returning the count. Each ms[i]
@@ -50,6 +77,9 @@ func (b *UDPBatch) Batched() bool { return b.sys != nil }
 func (b *UDPBatch) ReadBatch(ms []Datagram) (int, error) {
 	if len(ms) == 0 {
 		return 0, nil
+	}
+	if b.bc != nil {
+		return b.bc.ReadBatch(ms)
 	}
 	if b.sys != nil {
 		return b.sys.readBatch(ms)
@@ -71,6 +101,9 @@ func (b *UDPBatch) ReadBatch(ms []Datagram) (int, error) {
 // batch still goes out. Only socket-level failures (closed fd) return
 // an error.
 func (b *UDPBatch) WriteBatch(ms []Datagram) (int, error) {
+	if b.bc != nil {
+		return b.bc.WriteBatch(ms)
+	}
 	if b.sys != nil {
 		return b.sys.writeBatch(ms)
 	}
@@ -90,4 +123,46 @@ func (b *UDPBatch) WriteBatch(ms []Datagram) (int, error) {
 // isClosedConn reports the unrecoverable "socket is gone" condition.
 func isClosedConn(err error) bool {
 	return errors.Is(err, net.ErrClosed)
+}
+
+// BatchLen is the capacity of pooled datagram batches: large enough to
+// amortize one syscall over ~32 messages, small enough that a batch of
+// full-size buffers stays cache-friendly.
+const BatchLen = 32
+
+// batchBufCap sizes each pooled datagram's Buf. DNS-over-UDP replies cap
+// at the advertised EDNS size; 4 KiB covers every size the replay and
+// serving paths negotiate.
+const batchBufCap = 4096
+
+var batchPool = sync.Pool{
+	New: func() any {
+		ms := make([]Datagram, BatchLen)
+		for i := range ms {
+			ms[i].Buf = make([]byte, batchBufCap)
+		}
+		return &ms
+	},
+}
+
+// GetBatch returns a pooled []Datagram of length BatchLen whose Bufs are
+// pre-sized scratch. Like GetBuf, the storage is transient: the batch and
+// every view into its Bufs are valid only until PutBatch — callers that
+// need a datagram beyond that must copy it out first.
+func GetBatch() *[]Datagram {
+	return batchPool.Get().(*[]Datagram)
+}
+
+// PutBatch recycles a batch obtained from GetBatch. The caller must have
+// dropped every reference into the batch's Bufs; Buf slices that were
+// resliced (ReadBatch shrinks nothing, but callers might) are restored to
+// full capacity so the next user sees uniform scratch.
+func PutBatch(ms *[]Datagram) {
+	s := *ms
+	for i := range s {
+		s[i].Buf = s[i].Buf[:cap(s[i].Buf)]
+		s[i].N = 0
+		s[i].Addr = netip.AddrPort{}
+	}
+	batchPool.Put(ms)
 }

@@ -58,6 +58,10 @@ type Conn struct {
 	idle    *time.Timer
 	closed  bool
 
+	// loops tracks live read-loop goroutines so Wait can quiesce
+	// callbacks after Close.
+	loops sync.WaitGroup
+
 	dials       atomic.Uint64
 	idExhausted atomic.Uint64
 }
@@ -93,6 +97,7 @@ func (c *Conn) Send(wire []byte, token any) (fresh bool, err error) {
 		}
 		obsConnDials.Inc()
 		fresh = true
+		c.loops.Add(1)
 		go c.readLoop(ep)
 	}
 	c.touchLocked()
@@ -192,6 +197,7 @@ func (c *Conn) drop(tokens []any) {
 // readLoop receives on one endpoint until it dies, matching responses to
 // pending queries by ID.
 func (c *Conn) readLoop(ep Endpoint) {
+	defer c.loops.Done()
 	bp := GetBuf()
 	defer PutBuf(bp)
 	buf := *bp
@@ -241,6 +247,13 @@ func (c *Conn) readLoop(ep Endpoint) {
 		}
 	}
 }
+
+// Wait blocks until every read-loop goroutine this Conn ever spawned has
+// returned. After Close()+Wait() no OnResponse/OnResponseMsg/OnDrop
+// callback can still be executing, so callers may read result storage
+// those callbacks write without synchronization. Must not be called from
+// inside a callback (the read loop would be waiting on itself).
+func (c *Conn) Wait() { c.loops.Wait() }
 
 // Pending reports the number of in-flight queries.
 func (c *Conn) Pending() int {

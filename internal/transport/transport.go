@@ -78,6 +78,18 @@ type Dialer interface {
 	Dial(ctx context.Context, proto Proto, server netip.AddrPort) (Endpoint, error)
 }
 
+// PacketDialer is a Dialer whose fabric can also vend an unconnected
+// datagram socket. The replay fast path needs one (a shared per-querier
+// socket it drives through UDPBatch); a Dialer that implements this
+// keeps that path available on simulated fabrics instead of degrading
+// to per-source endpoints. VNetHost implements it; dialers over real
+// sockets don't need to — with no Dialer injected the replay engine
+// opens net.ListenUDP itself.
+type PacketDialer interface {
+	Dialer
+	ListenPacketConn() (net.PacketConn, error)
+}
+
 // Errors shared across implementations.
 var (
 	// ErrClosed is returned by operations on a closed endpoint or conn.

@@ -216,6 +216,13 @@ type VNetPacketConn struct {
 	closeOnce sync.Once
 }
 
+// ListenPacketConn implements PacketDialer: an unconnected datagram
+// socket on an ephemeral fabric port, for consumers (the replay fast
+// path) that want PacketConn semantics rather than a dialed Endpoint.
+func (h *VNetHost) ListenPacketConn() (net.PacketConn, error) {
+	return h.ListenPacket(0)
+}
+
 // ListenPacket binds a datagram listener on the host (port 0 picks one).
 func (h *VNetHost) ListenPacket(port uint16) (*VNetPacketConn, error) {
 	port, ch, err := h.bind(port, vnetListenDepth)
